@@ -1,0 +1,61 @@
+// Shared infrastructure for the per-figure benchmark binaries: the sweep
+// cache, the two evaluation networks at paper scale, and table/bar printing.
+//
+// All binaries share results/sweep_cache.csv (override with
+// REPRO_RESULTS_DIR); the first binary to need a grid point simulates it, the
+// rest read it back, so the whole bench suite costs one sweep.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "ml/crossval.h"
+#include "net/models.h"
+#include "serving/serving.h"
+#include "sweep/sweep.h"
+
+namespace vlacnn::bench {
+
+struct Env {
+  std::unique_ptr<ResultsDb> db;
+  std::unique_ptr<SweepDriver> driver;
+  Network vgg16;
+  Network yolo20;
+
+  Env();
+};
+
+/// Figure/table banner with the paper reference.
+void banner(const std::string& title, const std::string& paper_ref);
+
+/// "1MB", "64MB", ...
+std::string l2_str(std::uint64_t bytes);
+
+/// Horizontal ASCII bar scaled to `frac` in [0,1].
+std::string bar(double frac, int width = 40);
+
+/// Short per-layer tag like "3x608x608->32 k3 s1".
+std::string layer_tag(const ConvLayerDesc& d);
+
+/// Fig 1/2 body: per-layer execution time of all four algorithms at one
+/// hardware point, with the per-layer winner marked.
+void perlayer_figure(Env& env, const Network& net, std::uint32_t vlen,
+                     std::uint64_t l2);
+
+/// Fig 3/4 body: per-layer VLEN scaling for each algorithm at fixed L2.
+void vlen_scaling_figure(Env& env, const Network& net,
+                         const std::vector<std::uint32_t>& vlens,
+                         std::uint64_t l2, VpuAttach attach);
+
+/// Fig 5-8 body: per-layer L2 scaling for each algorithm at fixed VLEN.
+void l2_scaling_figure(Env& env, const Network& net, std::uint32_t vlen,
+                       const std::vector<std::uint64_t>& l2_sizes,
+                       VpuAttach attach);
+
+/// Fig 9/10 body: whole-network time for each single-algorithm plan vs the
+/// per-layer Optimal and the random-forest Predicted Optimal, across the
+/// 16-configuration grid.
+void selection_figure(Env& env, const Network& net);
+
+}  // namespace vlacnn::bench

@@ -1,0 +1,11 @@
+// Fig 1: per-layer comparison of the four algorithms on VGG-16 at 512-bit
+// vectors and 1 MB L2.
+#include "bench_common.h"
+
+int main() {
+  using namespace vlacnn::bench;
+  banner("Fig 1: per-layer algorithm comparison, VGG-16", "ICPP'24 Fig. 1");
+  Env env;
+  perlayer_figure(env, env.vgg16, 512, 1u << 20);
+  return 0;
+}

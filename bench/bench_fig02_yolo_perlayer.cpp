@@ -1,0 +1,12 @@
+// Fig 2: per-layer comparison of the four algorithms on the first 15 conv
+// layers of YOLOv3 at 512-bit vectors and 1 MB L2.
+#include "bench_common.h"
+
+int main() {
+  using namespace vlacnn::bench;
+  banner("Fig 2: per-layer algorithm comparison, YOLOv3 (15 conv layers)",
+         "ICPP'24 Fig. 2");
+  Env env;
+  perlayer_figure(env, env.yolo20, 512, 1u << 20);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fig 3: VLEN scaling (512 -> 4096 bits) per layer and algorithm, VGG-16,
+// 1 MB L2.
+#include "bench_common.h"
+
+int main() {
+  using namespace vlacnn;
+  using namespace vlacnn::bench;
+  banner("Fig 3: vector-length scaling per layer, VGG-16", "ICPP'24 Fig. 3");
+  Env env;
+  vlen_scaling_figure(env, env.vgg16, paper2_vlens(), 1u << 20,
+                      VpuAttach::kIntegratedL1);
+  return 0;
+}

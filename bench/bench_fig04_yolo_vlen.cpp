@@ -1,0 +1,13 @@
+// Fig 4: VLEN scaling (512 -> 4096 bits) per layer and algorithm, YOLOv3,
+// 1 MB L2.
+#include "bench_common.h"
+
+int main() {
+  using namespace vlacnn;
+  using namespace vlacnn::bench;
+  banner("Fig 4: vector-length scaling per layer, YOLOv3", "ICPP'24 Fig. 4");
+  Env env;
+  vlen_scaling_figure(env, env.yolo20, paper2_vlens(), 1u << 20,
+                      VpuAttach::kIntegratedL1);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig 5: L2 scaling (1 -> 64 MB) per layer and algorithm, VGG-16, 512-bit.
+#include "bench_common.h"
+
+int main() {
+  using namespace vlacnn;
+  using namespace vlacnn::bench;
+  banner("Fig 5: L2 scaling per layer, VGG-16 @ 512-bit", "ICPP'24 Fig. 5");
+  Env env;
+  l2_scaling_figure(env, env.vgg16, 512, paper2_l2_sizes(),
+                    VpuAttach::kIntegratedL1);
+  return 0;
+}

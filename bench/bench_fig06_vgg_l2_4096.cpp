@@ -1,0 +1,12 @@
+// Fig 6: L2 scaling (1 -> 64 MB) per layer and algorithm, VGG-16, 4096-bit.
+#include "bench_common.h"
+
+int main() {
+  using namespace vlacnn;
+  using namespace vlacnn::bench;
+  banner("Fig 6: L2 scaling per layer, VGG-16 @ 4096-bit", "ICPP'24 Fig. 6");
+  Env env;
+  l2_scaling_figure(env, env.vgg16, 4096, paper2_l2_sizes(),
+                    VpuAttach::kIntegratedL1);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig 7: L2 scaling (1 -> 64 MB) per layer and algorithm, YOLOv3, 512-bit.
+#include "bench_common.h"
+
+int main() {
+  using namespace vlacnn;
+  using namespace vlacnn::bench;
+  banner("Fig 7: L2 scaling per layer, YOLOv3 @ 512-bit", "ICPP'24 Fig. 7");
+  Env env;
+  l2_scaling_figure(env, env.yolo20, 512, paper2_l2_sizes(),
+                    VpuAttach::kIntegratedL1);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig 8: L2 scaling (1 -> 64 MB) per layer and algorithm, YOLOv3, 4096-bit.
+#include "bench_common.h"
+
+int main() {
+  using namespace vlacnn;
+  using namespace vlacnn::bench;
+  banner("Fig 8: L2 scaling per layer, YOLOv3 @ 4096-bit", "ICPP'24 Fig. 8");
+  Env env;
+  l2_scaling_figure(env, env.yolo20, 4096, paper2_l2_sizes(),
+                    VpuAttach::kIntegratedL1);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fig 9: whole-network execution time of VGG-16 per hardware configuration,
+// single algorithms vs Optimal vs random-forest Predicted Optimal.
+#include "bench_common.h"
+
+int main() {
+  using namespace vlacnn::bench;
+  banner("Fig 9: algorithm selection on VGG-16", "ICPP'24 Fig. 9");
+  Env env;
+  selection_figure(env, env.vgg16);
+  return 0;
+}

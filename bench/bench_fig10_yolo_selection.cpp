@@ -1,0 +1,11 @@
+// Fig 10: whole-network execution time of YOLOv3 (first 15 conv layers) per
+// hardware configuration, single algorithms vs Optimal vs Predicted Optimal.
+#include "bench_common.h"
+
+int main() {
+  using namespace vlacnn::bench;
+  banner("Fig 10: algorithm selection on YOLOv3", "ICPP'24 Fig. 10");
+  Env env;
+  selection_figure(env, env.yolo20);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig 11: performance/area trade-off and Pareto frontier for a single VGG-16
+// instance on a 7 nm RVV chip — every (algorithm | Optimal) x vlen x L2
+// configuration, frontier extraction, Pareto-optimal point, and the paper's
+// headline cross-checks (2048-bit x 1MB knee; the area a single algorithm
+// needs to match the knee's performance).
+#include <optional>
+
+#include "area/area_model.h"
+#include "area/pareto.h"
+#include "bench_common.h"
+
+using namespace vlacnn;
+using namespace vlacnn::bench;
+
+namespace {
+
+struct Candidate {
+  std::optional<Algo> algo;  // nullopt = per-layer Optimal
+  std::uint32_t vlen;
+  std::uint64_t l2;
+  double cycles;
+  double area;
+};
+
+const char* algo_name(const std::optional<Algo>& a) {
+  return a ? to_string(*a) : "Optimal";
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig 11: performance-area Pareto, single VGG-16 instance",
+         "ICPP'24 Fig. 11");
+  Env env;
+  const AreaModel area;
+
+  std::printf("\narea model: VPU+VRF fraction of core tile = ");
+  for (std::uint32_t v : paper2_vlens()) {
+    std::printf("%u-bit:%.0f%% ", v, area.vpu_fraction(v) * 100);
+  }
+  std::printf(" (paper: 28/43/60/75%%)\n");
+
+  std::vector<Candidate> cands;
+  for (std::uint32_t vlen : paper2_vlens()) {
+    for (std::uint64_t l2 : paper2_l2_sizes()) {
+      const double chip = area.chip_mm2(vlen, l2);
+      for (Algo a : kAllAlgos) {
+        cands.push_back({a, vlen, l2,
+                         env.driver->network_cycles(env.vgg16, a, vlen, l2),
+                         chip});
+      }
+      cands.push_back({std::nullopt, vlen, l2,
+                       env.driver->network_optimal(env.vgg16, vlen, l2).cycles,
+                       chip});
+    }
+  }
+
+  std::vector<ParetoPoint> pts;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    pts.push_back({cands[i].area, cands[i].cycles, i});
+  }
+  const auto frontier = pareto_frontier(pts);
+  const std::size_t knee = pareto_knee(pts, frontier);
+
+  std::printf("\nall Optimal-plan points (cycles in billions):\n");
+  std::printf("%-18s %9s %10s\n", "config", "area mm2", "Gcycles");
+  for (const Candidate& c : cands) {
+    if (c.algo) continue;
+    std::printf("%4u-bit x %-6s %9.2f %10.3f\n", c.vlen,
+                l2_str(c.l2).c_str(), c.area, c.cycles / 1e9);
+  }
+
+  std::printf("\nPareto frontier (area-ascending):\n");
+  std::printf("%-9s %-18s %9s %10s%s\n", "plan", "config", "area mm2",
+              "Gcycles", "");
+  for (std::size_t i : frontier) {
+    const Candidate& c = cands[i];
+    std::printf("%-9s %4u-bit x %-6s %9.2f %10.3f%s\n", algo_name(c.algo),
+                c.vlen, l2_str(c.l2).c_str(), c.area, c.cycles / 1e9,
+                i == knee ? "   <- Pareto-optimal" : "");
+  }
+
+  // Paper cross-checks.
+  const Candidate& k = cands[knee];
+  std::printf("\nPareto-optimal: %s @ %u-bit x %s, %.2f mm2 "
+              "(paper: Optimal @ 2048-bit x 1MB, 2.35 mm2)\n",
+              algo_name(k.algo), k.vlen, l2_str(k.l2).c_str(), k.area);
+
+  // Minimum area at which each single algorithm matches the knee performance.
+  for (Algo a : kAllAlgos) {
+    double best_area = -1;
+    for (const Candidate& c : cands) {
+      if (!c.algo || *c.algo != a) continue;
+      if (c.cycles <= k.cycles && (best_area < 0 || c.area < best_area)) {
+        best_area = c.area;
+      }
+    }
+    if (best_area > 0) {
+      std::printf("  %-9s matches knee performance at >= %.2f mm2 (%.2fx)\n",
+                  to_string(a), best_area, best_area / k.area);
+    } else {
+      std::printf("  %-9s cannot match knee performance on this grid\n",
+                  to_string(a));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Host-speed microbenchmarks (google-benchmark) of the functional kernels —
+// not a paper figure, but the standard sanity harness for the library itself:
+// relative host-side costs of the four algorithms and the scalar reference on
+// a representative mid-size layer.
+#include <benchmark/benchmark.h>
+
+#include "algos/reference.h"
+#include "algos/registry.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace vlacnn;
+
+const ConvLayerDesc kLayer{16, 32, 32, 16, 3, 3, 1, 1};
+
+struct Fixture {
+  Tensor in;
+  std::vector<float> w;
+  Fixture() : in(kLayer.ic, kLayer.ih, kLayer.iw), w(kLayer.weight_elems()) {
+    Rng rng(1);
+    in.fill_random(rng);
+    fill_uniform(rng, w.data(), w.size(), -1.0f, 1.0f);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_Reference(benchmark::State& state) {
+  Fixture& f = fixture();
+  Tensor out(kLayer.oc, kLayer.oh(), kLayer.ow());
+  for (auto _ : state) {
+    conv_reference(kLayer, f.in.data(), f.w.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kLayer.macs()));
+}
+BENCHMARK(BM_Reference);
+
+void BM_Functional(benchmark::State& state, Algo algo, std::uint32_t vlen) {
+  Fixture& f = fixture();
+  VpuConfig vpu{vlen, 8, VpuAttach::kIntegratedL1};
+  for (auto _ : state) {
+    Tensor out = conv_functional(algo, kLayer, f.in, f.w, vpu);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kLayer.macs()));
+}
+BENCHMARK_CAPTURE(BM_Functional, direct_512, Algo::kDirect, 512u);
+BENCHMARK_CAPTURE(BM_Functional, gemm3_512, Algo::kGemm3, 512u);
+BENCHMARK_CAPTURE(BM_Functional, gemm6_512, Algo::kGemm6, 512u);
+BENCHMARK_CAPTURE(BM_Functional, winograd_512, Algo::kWinograd, 512u);
+BENCHMARK_CAPTURE(BM_Functional, gemm3_2048, Algo::kGemm3, 2048u);
+
+void BM_TimingSimulation(benchmark::State& state, Algo algo) {
+  SimConfig config = make_sim_config(512, 1u << 20);
+  for (auto _ : state) {
+    TimingStats s = conv_simulate(algo, kLayer, config);
+    benchmark::DoNotOptimize(s.cycles);
+  }
+}
+BENCHMARK_CAPTURE(BM_TimingSimulation, direct, Algo::kDirect);
+BENCHMARK_CAPTURE(BM_TimingSimulation, gemm6, Algo::kGemm6);
+BENCHMARK_CAPTURE(BM_TimingSimulation, winograd, Algo::kWinograd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Paper I Section VI.B(c): impact of the number of vector lanes (2 -> 8) for
+// different vector lengths, YOLOv3/20, decoupled RVV, 1 MB L2. Expected shape:
+// ~1.25x for 8192-bit; 512-bit saturates beyond 4 lanes.
+#include "bench_common.h"
+
+using namespace vlacnn;
+using namespace vlacnn::bench;
+
+int main() {
+  banner("Paper I: vector-lane scaling, YOLOv3/20, decoupled RVV",
+         "IPDPS'23 Section VI.B(c)");
+  Env env;
+  std::printf("\n%8s %8s %12s %10s\n", "vlen", "lanes", "Gcycles",
+              "vs 2 lanes");
+  for (std::uint32_t vlen : {512u, 2048u, 8192u}) {
+    double base = 0;
+    for (std::uint32_t lanes : {2u, 4u, 8u}) {
+      const double cycles = env.driver->network_cycles(
+          env.yolo20, Algo::kGemm3, vlen, 1u << 20, lanes,
+          VpuAttach::kDecoupledL2);
+      if (base == 0) base = cycles;
+      std::printf("%8u %8u %12.3f %9.2fx\n", vlen, lanes, cycles / 1e9,
+                  base / cycles);
+    }
+  }
+  std::printf("\n(paper: ~1.25x for 8192-bit from 2 to 8 lanes; 512-bit "
+              "saturates beyond 4 lanes)\n");
+  return 0;
+}

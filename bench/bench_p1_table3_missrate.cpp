@@ -1,0 +1,28 @@
+// Paper I Table III: consumed average vector length and L2 miss rate vs the
+// configured vector length, YOLOv3/20, decoupled RVV, 1 MB L2. Expected shape:
+// near-full VL utilisation and a miss rate climbing from ~32% to ~79%.
+#include "bench_common.h"
+
+using namespace vlacnn;
+using namespace vlacnn::bench;
+
+int main() {
+  banner("Paper I Table III: average vector length & L2 miss rate",
+         "IPDPS'23 Table III");
+  Env env;
+  std::printf("\n%8s %14s %14s\n", "vlen", "avg VL (bits)", "L2 miss rate");
+  for (std::uint32_t vlen : paper1_vlens()) {
+    const auto rows = env.driver->network_rows(
+        env.yolo20, Algo::kGemm3, vlen, 1u << 20, 8, VpuAttach::kDecoupledL2);
+    // Cycle-weighted aggregates across layers.
+    double vl_bits = 0, cyc = 0, mr = 0;
+    for (const SweepRow& r : rows) {
+      vl_bits += r.avg_vl * 32.0 * r.cycles;
+      mr += r.l2_miss_rate * r.cycles;
+      cyc += r.cycles;
+    }
+    std::printf("%8u %14.1f %13.1f%%\n", vlen, vl_bits / cyc, mr / cyc * 100);
+  }
+  std::printf("\n(paper: avg VL 512->15902 of 16384; miss rate 32%% -> 79%%)\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Paper I Table IV: arithmetic intensity of the 14 discrete convolutional
+// layer shapes of full YOLOv3 (im2col+GEMM roofline view).
+#include <map>
+
+#include "bench_common.h"
+#include "net/models.h"
+
+using namespace vlacnn;
+using namespace vlacnn::bench;
+
+int main() {
+  banner("Paper I Table IV: arithmetic intensity of YOLOv3 conv layers",
+         "IPDPS'23 Table IV");
+  const Network full = make_yolov3(-1, 608);
+  // Discrete (M, N, K) combinations, keeping the first layer index for each.
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>, int> seen;
+  int idx = 0;
+  std::printf("\n%6s %6s %9s %6s %8s\n", "layer", "M", "N", "K", "AI");
+  for (const ConvLayerDesc& d : full.conv_descs()) {
+    ++idx;
+    const auto key = std::make_tuple(d.gemm_m(), d.gemm_n(), d.gemm_k());
+    if (seen.count(key)) continue;
+    seen[key] = idx;
+    std::printf("%6d %6llu %9llu %6llu %8.1f\n", idx,
+                static_cast<unsigned long long>(d.gemm_m()),
+                static_cast<unsigned long long>(d.gemm_n()),
+                static_cast<unsigned long long>(d.gemm_k()),
+                d.arithmetic_intensity());
+  }
+  std::printf("\n%zu discrete shapes (paper lists 14 for its 768x576 input; "
+              "L44 M=1024 N=361 K=4608 -> AI 126)\n", seen.size());
+  return 0;
+}

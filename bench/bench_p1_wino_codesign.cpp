@@ -1,0 +1,41 @@
+// Paper I Figs 9-10: Winograd co-design — vector length (512 -> 2048 bits) and
+// L2 size (1 -> 256 MB) on YOLOv3/20 and VGG-16, integrated (SVE-like) VPU,
+// Winograd on 3x3 stride-1 layers with im2col+GEMM fallback elsewhere.
+// Expected shape: ~1.4x from 2048-bit vectors; VGG-16 (all-Winograd) stops
+// benefiting from caches beyond 64MB, YOLOv3 (with GEMM fallback layers)
+// keeps benefiting.
+#include "bench_common.h"
+
+using namespace vlacnn;
+using namespace vlacnn::bench;
+
+int main() {
+  banner("Paper I Figs 9-10: Winograd co-design (VLEN x L2)",
+         "IPDPS'23 Figs. 9-10");
+  Env env;
+  for (const Network* net : {&env.yolo20, &env.vgg16}) {
+    std::printf("\n%s (Winograd + gemm6 fallback):\n%8s", net->name().c_str(),
+                "vlen");
+    for (std::uint64_t l2 : paper1_l2_sizes()) {
+      std::printf(" %9s", l2_str(l2).c_str());
+    }
+    std::printf("   gain(L2)  gain(vlen@1MB)\n");
+    double base_vlen = 0;
+    for (std::uint32_t vlen : {512u, 1024u, 2048u}) {
+      std::printf("%8u", vlen);
+      double first = 0, last = 0;
+      for (std::uint64_t l2 : paper1_l2_sizes()) {
+        const double cycles = env.driver->network_cycles(
+            *net, Algo::kWinograd, vlen, l2, 8, VpuAttach::kIntegratedL1);
+        if (first == 0) first = cycles;
+        if (base_vlen == 0) base_vlen = cycles;
+        last = cycles;
+        std::printf(" %8.2fG", cycles / 1e9);
+      }
+      std::printf("   %6.2fx %9.2fx\n", first / last, base_vlen / first);
+    }
+  }
+  std::printf("\n(paper: 1.4x from 512->2048-bit at 1MB; YOLOv3 1.75x and "
+              "VGG16 1.4x from the L2 sweep, VGG16 flat beyond 64MB)\n");
+  return 0;
+}

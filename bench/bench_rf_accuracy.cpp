@@ -1,0 +1,77 @@
+// Random-forest algorithm-selection accuracy (ICPP'24 Section 4.3):
+// 448 samples = 28 conv layers x 16 hardware configs, 12 features,
+// 80/20 split + 5-fold cross-validation with shuffling, depth-10 bagged trees.
+// Paper reports 92.8% mean accuracy (folds 91-96%) and <= 20.4% mean
+// performance loss on the mispredicted minority.
+#include "bench_common.h"
+#include "ml/crossval.h"
+
+using namespace vlacnn;
+using namespace vlacnn::bench;
+
+int main() {
+  banner("Random-forest selection accuracy", "ICPP'24 Section 4.3");
+  Env env;
+  const std::vector<const Network*> nets{&env.vgg16, &env.yolo20};
+  const Dataset ds = build_selection_dataset(*env.driver, nets, paper2_vlens(),
+                                             paper2_l2_sizes());
+  std::printf("dataset: %zu samples (%zu features)\n", ds.size(),
+              ds.num_features());
+
+  ForestParams params;  // 100 trees, depth 10, bootstrap
+  const CrossValResult cv = cross_validate(ds, params, 5, 2024);
+  std::printf("\n5-fold cross-validation (shuffled):\n");
+  for (std::size_t f = 0; f < cv.fold_accuracy.size(); ++f) {
+    std::printf("  fold %zu: %.1f%%\n", f + 1, cv.fold_accuracy[f] * 100);
+  }
+  std::printf("  mean: %.1f%%  (paper: 92.8%%, folds 91-96%%)\n",
+              cv.mean_accuracy * 100);
+
+  // 80/20 split accuracy.
+  const SplitIndices split = train_test_split(ds.size(), 0.2, 7);
+  RandomForest forest;
+  forest.fit(ds, split.train, params);
+  std::printf("\n80/20 split test accuracy: %.1f%%\n",
+              forest.accuracy(ds, split.test) * 100);
+
+  // Misprediction cost: mean relative slowdown of predicted vs optimal on the
+  // mispredicted held-out samples.
+  const std::vector<int> pred = heldout_predictions(ds, params, 5, 2024);
+  double loss_sum = 0;
+  int mispredicted = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (pred[i] == ds.y[i]) continue;
+    const SampleMeta& m = ds.meta[i];
+    const Network& net = m.net == "vgg16" ? env.vgg16 : env.yolo20;
+    const ConvLayerDesc d = net.conv_descs()[m.layer];
+    Algo pa = kAllAlgos[static_cast<std::size_t>(pred[i]) % kAllAlgos.size()];
+    if (!algo_applicable(pa, d)) pa = Algo::kGemm6;
+    const double predicted =
+        env.driver->get(m.net, m.layer, d, pa, m.vlen_bits, m.l2_bytes).cycles;
+    const double optimal =
+        env.driver
+            ->get(m.net, m.layer, d, kAllAlgos[ds.y[i]], m.vlen_bits,
+                  m.l2_bytes)
+            .cycles;
+    loss_sum += predicted / optimal - 1.0;
+    ++mispredicted;
+  }
+  std::printf("\nmispredicted: %d/%zu (%.1f%%), mean layer slowdown when "
+              "mispredicted: %.1f%%  (paper: 20.4%%)\n",
+              mispredicted, ds.size(),
+              100.0 * mispredicted / static_cast<double>(ds.size()),
+              mispredicted ? 100.0 * loss_sum / mispredicted : 0.0);
+
+  // Feature importances of a forest trained on everything.
+  std::vector<std::size_t> all(ds.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  RandomForest full;
+  full.fit(ds, all, params);
+  const auto imp = full.feature_importances();
+  std::printf("\nfeature importances:\n");
+  for (std::size_t f = 0; f < imp.size(); ++f) {
+    std::printf("  %-8s %5.1f%% %s\n", ds.feature_names[f].c_str(),
+                imp[f] * 100, bar(imp[f], 30).c_str());
+  }
+  return 0;
+}

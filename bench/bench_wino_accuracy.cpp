@@ -1,0 +1,54 @@
+// Winograd tile-size ablation (Paper I Section IV.B motivation): numerical
+// error of F(m,3) tile convolution in fp32 grows with the tile size, which is
+// why the implementation pins tiles at 8x8 (m=6) and scales to long vectors
+// via inter-tile channel parallelism instead of larger tiles.
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "wino/transforms.h"
+
+using namespace vlacnn;
+
+int main() {
+  std::printf("Winograd F(m,3) fp32 tile-convolution error vs tile size\n");
+  std::printf("%6s %10s %12s %12s\n", "m", "tile", "mean err", "max err");
+  for (int m : {2, 4, 6}) {
+    const WinogradTransform& t = winograd_transform(m);
+    const int n = t.n();
+    Rng rng(77);
+    double sum = 0, worst = 0;
+    const int trials = 2000;
+    for (int trial = 0; trial < trials; ++trial) {
+      std::vector<float> d(static_cast<std::size_t>(n) * n);
+      float g[9];
+      for (auto& v : d) v = rng.uniform(-1, 1);
+      for (auto& v : g) v = rng.uniform(-1, 1);
+      std::vector<float> vt(d.size()), ut(d.size()), mt(d.size());
+      wino_transform_input(t, d.data(), vt.data());
+      wino_transform_weight(t, g, ut.data());
+      for (int i = 0; i < n * n; ++i) mt[i] = ut[i] * vt[i];
+      std::vector<float> y(static_cast<std::size_t>(m) * m);
+      wino_transform_output(t, mt.data(), y.data());
+      for (int oy = 0; oy < m; ++oy) {
+        for (int ox = 0; ox < m; ++ox) {
+          double expect = 0;
+          for (int ky = 0; ky < 3; ++ky) {
+            for (int kx = 0; kx < 3; ++kx) {
+              expect += static_cast<double>(g[ky * 3 + kx]) *
+                        d[static_cast<std::size_t>(oy + ky) * n + ox + kx];
+            }
+          }
+          const double e = std::fabs(y[oy * m + ox] - expect);
+          sum += e;
+          worst = std::max(worst, e);
+        }
+      }
+    }
+    std::printf("%6d %7dx%-2d %12.3e %12.3e\n", m, n, n,
+                sum / (trials * m * m), worst);
+  }
+  std::printf("\n(error grows with m: larger tiles are numerically unsafe in "
+              "fp32, hence the fixed 8x8 tile + inter-tile parallelism)\n");
+  return 0;
+}

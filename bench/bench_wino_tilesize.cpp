@@ -1,0 +1,73 @@
+// Winograd tile-size ablation at the *layer* level (the design decision behind
+// Paper I Section IV.B): for F(2,3), F(4,3), F(6,3), simulate a representative
+// 3x3 stride-1 layer across vector lengths and measure the fp32 output error —
+// the arithmetic-reduction / numerical-accuracy trade that pins the papers'
+// implementation to 8x8 tiles (m=6).
+#include <cstdio>
+
+#include "algos/reference.h"
+#include "algos/winograd.h"
+#include "common/rng.h"
+#include "algos/registry.h"
+
+using namespace vlacnn;
+
+namespace {
+
+double simulate_tile(const ConvLayerDesc& d, int m, std::uint32_t vlen) {
+  SimConfig config = make_sim_config(vlen, 1u << 20);
+  MemorySystem mem(config.mem);
+  TimingModel timing(config.vpu, &mem, config.timing);
+  TraceEngine eng(config.vpu, &timing);
+  const int n = m + 2;
+  const BufView in = eng.bind(nullptr, d.in_elems());
+  const BufView u = eng.bind(
+      nullptr, static_cast<std::uint64_t>(n) * n * d.oc * d.ic);
+  const BufView out = eng.bind(nullptr, d.out_elems());
+  conv_winograd(eng, d, in, u, out, config.sampler, m);
+  return timing.stats().cycles;
+}
+
+float layer_error(const ConvLayerDesc& d, int m) {
+  Rng rng(5);
+  Tensor in(d.ic, d.ih, d.iw);
+  in.fill_random(rng);
+  std::vector<float> w(d.weight_elems());
+  fill_uniform(rng, w.data(), w.size(), -1.0f, 1.0f);
+  const Tensor ref = conv_reference(d, in, w);
+
+  const int n = m + 2;
+  std::vector<float> u(static_cast<std::size_t>(n) * n * d.oc * d.ic);
+  winograd_prepare_weights(d, w.data(), u.data(), m);
+  VpuConfig vpu{512, 8, VpuAttach::kIntegratedL1};
+  FunctionalEngine eng(vpu);
+  Tensor out(d.oc, d.oh(), d.ow());
+  const BufView in_v = eng.bind(in.data(), in.size());
+  const BufView u_v = eng.bind(u.data(), u.size());
+  const BufView out_v = eng.bind(out.data(), out.size());
+  conv_winograd(eng, d, in_v, u_v, out_v, Sampler{}, m);
+  return max_abs_diff(ref, out) / (max_abs(ref) + 1e-9f);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Winograd tile-size ablation: F(m,3) on a 64x56x56->64 layer\n");
+  std::printf("(cycles simulated at 1MB L2; error measured functionally on a "
+              "16x20x20->8 layer)\n\n");
+  const ConvLayerDesc d{64, 56, 56, 64, 3, 3, 1, 1};
+  const ConvLayerDesc d_err{16, 20, 20, 8, 3, 3, 1, 1};
+  std::printf("%4s %6s %14s %14s %14s %12s\n", "m", "tile", "cycles@512",
+              "cycles@1024", "cycles@2048", "rel. error");
+  for (int m : {2, 4, 6}) {
+    std::printf("%4d %4dx%-2d %14.4g %14.4g %14.4g %12.2e\n", m, m + 2, m + 2,
+                simulate_tile(d, m, 512), simulate_tile(d, m, 1024),
+                simulate_tile(d, m, 2048), layer_error(d_err, m));
+  }
+  std::printf(
+      "\n(m=6 minimises cycles — 5.06x fewer tuple multiplies than direct vs "
+      "2.25x for m=2 — at the cost of ~100x the fp32 error of m=2; larger "
+      "tiles would be numerically unsafe, so the papers scale Winograd to "
+      "long vectors via inter-tile channel parallelism instead)\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Model-serving capacity planner (the paper's Fig 12 scenario as a tool):
+// given a VGG-16 classification service and a chip area budget, enumerate
+// multicore RVV configurations with co-located model instances and report the
+// best-throughput design under the budget, with and without per-layer
+// algorithm selection.
+//
+//   ./examples/vgg_serving_planner [area_budget_mm2]   (default 30)
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "net/models.h"
+#include "serving/serving.h"
+
+using namespace vlacnn;
+
+int main(int argc, char** argv) {
+  const double budget = argc > 1 ? std::atof(argv[1]) : 30.0;
+  std::printf("planning VGG-16 serving under a %.1f mm2 area budget (7nm)\n",
+              budget);
+
+  ResultsDb db(default_results_path());
+  SweepDriver driver(&db);
+  ServingSimulator sim(&driver);
+  const Network vgg = make_vgg16(224);
+
+  // Moderate grid to keep the planner interactive: cores/instances {1,4,16},
+  // vlen 512..4096, shared L2 up to 64 MB.
+  struct Best {
+    ServingEval eval{};
+    bool valid = false;
+  };
+  Best best_opt, best_fixed;
+  Algo best_fixed_algo = Algo::kGemm6;
+
+  for (int cores : {1, 4, 16}) {
+    for (std::uint32_t vlen : paper2_vlens()) {
+      for (std::uint64_t l2 : paper2_l2_sizes()) {
+        for (int instances : {1, 4, 16}) {
+          ServingPoint p{cores, vlen, l2, instances};
+          if (!p.feasible()) continue;
+          const ServingEval opt = sim.evaluate(vgg, p, std::nullopt);
+          if (opt.area_mm2 <= budget &&
+              (!best_opt.valid ||
+               opt.images_per_cycle > best_opt.eval.images_per_cycle)) {
+            best_opt = {opt, true};
+          }
+          for (Algo a : kAllAlgos) {
+            const ServingEval fx = sim.evaluate(vgg, p, a);
+            if (fx.area_mm2 <= budget &&
+                (!best_fixed.valid ||
+                 fx.images_per_cycle > best_fixed.eval.images_per_cycle)) {
+              best_fixed = {fx, true};
+              best_fixed_algo = a;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  auto report = [](const char* label, const ServingEval& e) {
+    std::printf("\n%s\n", label);
+    std::printf("  chip: %d cores x %u-bit vectors, %lluMB shared L2 "
+                "(%.2f mm2)\n",
+                e.point.cores, e.point.vlen_bits,
+                static_cast<unsigned long long>(e.point.l2_total_bytes >> 20),
+                e.area_mm2);
+    std::printf("  %d co-located instances, %lluMB L2 slice each\n",
+                e.point.instances,
+                static_cast<unsigned long long>(e.point.l2_slice_bytes() >> 20));
+    std::printf("  latency %.1f ms/image, throughput %.1f images/s @ 2GHz\n",
+                e.cycles_per_image / 2e9 * 1e3, e.images_per_cycle * 2e9);
+  };
+
+  if (!best_opt.valid) {
+    std::printf("no feasible configuration under %.1f mm2\n", budget);
+    return 1;
+  }
+  report("best design, per-layer algorithm selection:", best_opt.eval);
+  char label[96];
+  std::snprintf(label, sizeof(label),
+                "best design, single algorithm (%s everywhere):",
+                to_string(best_fixed_algo));
+  report(label, best_fixed.eval);
+  std::printf("\nselection advantage: %.2fx throughput at equal area budget\n",
+              best_opt.eval.images_per_cycle /
+                  best_fixed.eval.images_per_cycle);
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "algos/conv_args.h"
+
+#include <stdexcept>
+
+namespace vlacnn {
+
+const char* to_string(Algo a) {
+  switch (a) {
+    case Algo::kDirect: return "direct";
+    case Algo::kGemm3: return "gemm3";
+    case Algo::kGemm6: return "gemm6";
+    case Algo::kWinograd: return "winograd";
+  }
+  return "?";
+}
+
+Algo algo_from_string(const std::string& s) {
+  for (Algo a : kAllAlgos) {
+    if (s == to_string(a)) return a;
+  }
+  throw std::invalid_argument("unknown algorithm: " + s);
+}
+
+bool algo_applicable(Algo a, const ConvLayerDesc& d) {
+  if (a == Algo::kWinograd) {
+    return d.kh == 3 && d.kw == 3 && d.stride == 1 && d.oh() >= 1 &&
+           d.ow() >= 1;
+  }
+  return true;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,63 @@
+// Shared kernel-side types: algorithm identifiers, applicability rules, the
+// sampled-simulation policy, and the 6-loop GEMM blocking parameters.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "tensor/conv_desc.h"
+
+namespace vlacnn {
+
+/// The four convolutional algorithms of Paper II.
+enum class Algo { kDirect, kGemm3, kGemm6, kWinograd };
+
+inline constexpr std::array<Algo, 4> kAllAlgos = {
+    Algo::kDirect, Algo::kGemm3, Algo::kGemm6, Algo::kWinograd};
+
+const char* to_string(Algo a);
+Algo algo_from_string(const std::string& s);
+
+/// Winograd F(6x6,3x3) only applies to 3x3 stride-1 layers (numerical stability
+/// pins the tile to 8x8; strided variants were shown slower in Paper I). The
+/// other algorithms are universal.
+bool algo_applicable(Algo a, const ConvLayerDesc& d);
+
+/// Sampled simulation policy: a kernel simulates a deterministic contiguous
+/// prefix of its outer loop and extrapolates (TimingModel scaling). Exact mode
+/// runs everything.
+struct Sampler {
+  /// Rough per-kernel budget in multiply-accumulate (or equivalent) element
+  /// operations before extrapolation kicks in.
+  std::uint64_t max_work = 60'000'000;
+  bool exact = false;
+
+  /// Units of `total` to simulate given per-unit work.
+  std::uint64_t choose(std::uint64_t total, double work_per_unit) const {
+    if (exact || total <= 2) return total;
+    const double budget =
+        static_cast<double>(max_work) / std::max(1.0, work_per_unit);
+    auto units = static_cast<std::uint64_t>(std::ceil(budget));
+    // At least four units: the first unit carries the cold-cache compulsory
+    // misses, and scaling it alone would overweight them.
+    units = std::max<std::uint64_t>(units, 4);
+    return std::min(units, total);
+  }
+};
+
+/// Blocking of the 6-loop (BLIS-like) GEMM. Defaults are the optimum found in
+/// Paper I Table II (16 x 512 x 128).
+struct Gemm6Blocks {
+  int block_m = 16;
+  int block_n = 512;
+  int block_k = 128;
+};
+
+/// Register-blocking (unroll) factor shared by the GEMM kernels: Paper I tuned
+/// this to 16 vector registers.
+inline constexpr int kGemmUnroll = 16;
+
+}  // namespace vlacnn

@@ -1,0 +1,242 @@
+#include "algos/direct.h"
+
+#include <algorithm>
+
+namespace vlacnn {
+
+bool direct_uses_wide(const ConvLayerDesc& d, std::uint64_t mvl) {
+  return static_cast<std::uint64_t>(d.oc) >= mvl;
+}
+
+namespace {
+
+/// Channel-wide strategy (NHWC in/out, HWIO [kh][kw][ic][oc] weights): lanes
+/// span output channels — the oneDNN-style NHWC direct form. For each kernel
+/// tap (ky, kx, ic), one weight-vector load is shared by a group of up to four
+/// output columns whose input samples are broadcast scalars; accumulators stay
+/// in registers across the whole tap loop and store unit-stride into NHWC.
+template <class E>
+void direct_wide(E& eng, const ConvLayerDesc& d, BufView in, BufView w,
+                 BufView out, const Sampler& sampler) {
+  using Vec = typename E::Vec;
+  constexpr int kGroup = 4;
+  const int oh = d.oh();
+  const int ow = d.ow();
+  const bool sample = !E::computes();
+
+  const double work_per_row = static_cast<double>(ow) * d.oc * d.kh * d.kw * d.ic;
+  const std::uint64_t rows =
+      sample ? sampler.choose(oh, work_per_row) : static_cast<std::uint64_t>(oh);
+  if (sample && rows < static_cast<std::uint64_t>(oh)) {
+    eng.timing()->push_scale(static_cast<double>(oh) / rows);
+  }
+
+  for (std::uint64_t y = 0; y < rows; ++y) {
+    // Valid kernel rows for this output row.
+    int ky0 = 0, ky1 = d.kh;
+    while (ky0 < ky1 && static_cast<int>(y) * d.stride + ky0 - d.pad < 0) ++ky0;
+    while (ky1 > ky0 && static_cast<int>(y) * d.stride + ky1 - 1 - d.pad >= d.ih)
+      --ky1;
+
+    // The OC-segment loop sits above the column loop so that one weight
+    // working set stays cache-resident across the row; the input-channel
+    // dimension is additionally blocked so that the per-segment slab
+    // (kh*kw*icb*gvl floats) never overflows a small L2 even at very long
+    // vector lengths. Partial sums spill to the output row between IC blocks
+    // (vector load/store, unit-stride in NHWC).
+    const std::uint64_t gvl_max = eng.setvl(d.oc);
+    const std::uint64_t slab_budget = (512u << 10) / 4;  // floats
+    const int icb = static_cast<int>(std::max<std::uint64_t>(
+        1, slab_budget / (static_cast<std::uint64_t>(d.kh) * d.kw * gvl_max)));
+
+    for (std::uint64_t oc0 = 0; oc0 < static_cast<std::uint64_t>(d.oc);) {
+      const std::uint64_t gvl = eng.setvl(d.oc - oc0);
+      for (int ic0 = 0; ic0 < d.ic; ic0 += icb) {
+        const int ic1 = std::min(d.ic, ic0 + icb);
+        int x = 0;
+        while (x < ow) {
+        // Column group: up to kGroup columns with the same kx clipping.
+        const int ix0 = x * d.stride - d.pad;
+        const int kx0 = std::max(0, -ix0);
+        const int kx1 = std::min(d.kw, d.iw - ix0);
+        int group = 1;
+        if (ix0 >= 0 && ix0 + d.kw <= d.iw) {
+          while (group < kGroup && x + group < ow &&
+                 (x + group) * d.stride - d.pad + d.kw <= d.iw) {
+            ++group;
+          }
+        }
+
+          Vec acc[kGroup];
+          for (int t = 0; t < group; ++t) {
+            acc[t] =
+                ic0 == 0
+                    ? eng.vbroadcast(0.0f, gvl)
+                    : eng.vload(out,
+                                (y * static_cast<std::uint64_t>(ow) + x + t) *
+                                        d.oc +
+                                    oc0,
+                                gvl);
+          }
+          // Blocked weights: block base is contiguous at ic*kh*kw*oc0; taps
+          // are unit-stride segments of gvl within the block.
+          const std::uint64_t w_block =
+              static_cast<std::uint64_t>(d.ic) * d.kh * d.kw * oc0;
+          for (int ky = ky0; ky < ky1; ++ky) {
+            const int iy = static_cast<int>(y) * d.stride + ky - d.pad;
+            for (int kx = kx0; kx < kx1; ++kx) {
+              for (int c = ic0; c < ic1; ++c) {
+                Vec wv = eng.vload(
+                    w,
+                    w_block +
+                        ((static_cast<std::uint64_t>(ky) * d.kw + kx) * d.ic +
+                         c) *
+                            gvl,
+                    gvl);
+                for (int t = 0; t < group; ++t) {
+                  const int ix = (x + t) * d.stride + kx - d.pad;
+                  const float s = eng.scalar_load(
+                      in,
+                      (static_cast<std::uint64_t>(iy) * d.iw + ix) * d.ic + c);
+                  eng.vfma_vs(acc[t], s, wv);
+                }
+              }
+            }
+          }
+          for (int t = 0; t < group; ++t) {
+            eng.vstore(
+                acc[t], out,
+                (y * static_cast<std::uint64_t>(ow) + x + t) * d.oc + oc0);
+          }
+          eng.scalar_ops(2 * (ky1 - ky0) * (kx1 - kx0) * (ic1 - ic0));
+          x += group;
+        }
+      }
+      oc0 += gvl;
+    }
+  }
+
+  if (sample && rows < static_cast<std::uint64_t>(oh)) eng.timing()->pop_scale();
+}
+
+/// Width-vectorized strategy (NCHW in/out, OIHW weights — Darknet's native
+/// layout): lanes span consecutive output columns, unit-stride row loads for
+/// stride 1, broadcast weights, register-blocked over 8 output channels that
+/// share each input load.
+template <class E>
+void direct_width(E& eng, const ConvLayerDesc& d, BufView in, BufView w,
+                  BufView out, const Sampler& sampler) {
+  using Vec = typename E::Vec;
+  constexpr int kOcUnroll = 8;
+  const int oh = d.oh();
+  const int ow = d.ow();
+  const bool sample = !E::computes();
+
+  // Interior output-column range where no kx tap is clipped.
+  int xa = (d.pad + d.stride - 1) / d.stride;
+  int xb = (d.iw + d.pad - d.kw) / d.stride + 1;
+  xa = std::clamp(xa, 0, ow);
+  xb = std::clamp(xb, xa, ow);
+
+  const double work_per_row =
+      static_cast<double>(ow) * d.oc * d.ic * d.kh * d.kw;
+  const std::uint64_t rows =
+      sample ? sampler.choose(oh, work_per_row) : static_cast<std::uint64_t>(oh);
+  if (sample && rows < static_cast<std::uint64_t>(oh)) {
+    eng.timing()->push_scale(static_cast<double>(oh) / rows);
+  }
+
+  auto w_at = [&](int oc, int c, int ky, int kx) {
+    return ((static_cast<std::uint64_t>(oc) * d.ic + c) * d.kh + ky) * d.kw +
+           kx;
+  };
+  auto in_at = [&](int c, int iy, int ix) {
+    return (static_cast<std::uint64_t>(c) * d.ih + iy) * d.iw + ix;
+  };
+
+  for (std::uint64_t yu = 0; yu < rows; ++yu) {
+    const int y = static_cast<int>(yu);
+    int ky0 = 0, ky1 = d.kh;
+    while (ky0 < ky1 && y * d.stride + ky0 - d.pad < 0) ++ky0;
+    while (ky1 > ky0 && y * d.stride + ky1 - 1 - d.pad >= d.ih) --ky1;
+
+    // Border columns: exact scalar taps (a handful per row).
+    auto scalar_pixel = [&](int x, int oc) {
+      float sum = 0.0f;
+      for (int ky = ky0; ky < ky1; ++ky) {
+        const int iy = y * d.stride + ky - d.pad;
+        for (int kx = 0; kx < d.kw; ++kx) {
+          const int ix = x * d.stride + kx - d.pad;
+          if (ix < 0 || ix >= d.iw) continue;
+          for (int c = 0; c < d.ic; ++c) {
+            sum += eng.scalar_load(w, w_at(oc, c, ky, kx)) *
+                   eng.scalar_load(in, in_at(c, iy, ix));
+            eng.scalar_ops(2);
+          }
+        }
+      }
+      eng.scalar_store(
+          out, (static_cast<std::uint64_t>(oc) * oh + y) * ow + x, sum);
+    };
+
+    for (int ocb = 0; ocb < d.oc; ocb += kOcUnroll) {
+      const int ocs = std::min(kOcUnroll, d.oc - ocb);
+      for (int x = 0; x < xa; ++x) {
+        for (int u = 0; u < ocs; ++u) scalar_pixel(x, ocb + u);
+      }
+      for (int x = xb; x < ow; ++x) {
+        for (int u = 0; u < ocs; ++u) scalar_pixel(x, ocb + u);
+      }
+      for (int x0 = xa; x0 < xb;) {
+        const std::uint64_t gvl = eng.setvl(static_cast<std::uint64_t>(xb - x0));
+        Vec acc[kOcUnroll];
+        for (int u = 0; u < ocs; ++u) acc[u] = eng.vbroadcast(0.0f, gvl);
+        for (int c = 0; c < d.ic; ++c) {
+          for (int ky = ky0; ky < ky1; ++ky) {
+            const int iy = y * d.stride + ky - d.pad;
+            for (int kx = 0; kx < d.kw; ++kx) {
+              const int ix = x0 * d.stride + kx - d.pad;
+              Vec iv = d.stride == 1
+                           ? eng.vload(in, in_at(c, iy, ix), gvl)
+                           : eng.vload_strided(in, in_at(c, iy, ix), d.stride,
+                                               gvl);
+              for (int u = 0; u < ocs; ++u) {
+                const float wv = eng.scalar_load(w, w_at(ocb + u, c, ky, kx));
+                eng.vfma_vs(acc[u], wv, iv);
+              }
+            }
+          }
+        }
+        for (int u = 0; u < ocs; ++u) {
+          eng.vstore(acc[u], out,
+                     (static_cast<std::uint64_t>(ocb + u) * oh + y) * ow + x0);
+        }
+        eng.scalar_ops(2 * d.ic * (ky1 - ky0) * d.kw);
+        x0 += static_cast<int>(gvl);
+      }
+    }
+  }
+
+  if (sample && rows < static_cast<std::uint64_t>(oh)) eng.timing()->pop_scale();
+}
+
+}  // namespace
+
+template <class E>
+void conv_direct(E& eng, const ConvLayerDesc& d, BufView in, BufView weights,
+                 BufView out, const Sampler& sampler) {
+  if (direct_uses_wide(d, eng.vpu().mvl())) {
+    direct_wide(eng, d, in, weights, out, sampler);
+  } else {
+    direct_width(eng, d, in, weights, out, sampler);
+  }
+}
+
+template void conv_direct<TraceEngine>(TraceEngine&, const ConvLayerDesc&,
+                                       BufView, BufView, BufView,
+                                       const Sampler&);
+template void conv_direct<FunctionalEngine>(FunctionalEngine&,
+                                            const ConvLayerDesc&, BufView,
+                                            BufView, BufView, const Sampler&);
+
+}  // namespace vlacnn

@@ -1,0 +1,44 @@
+// Direct convolution on the NHWC layout (Paper II Section 3.2, following
+// Santana et al. for long SIMD).
+//
+// Two vectorization strategies, chosen by shape (direct_uses_wide):
+//  * channel-wide (NHWC in/out, HWIO weights): lanes span output channels —
+//    the oneDNN-style NHWC direct form, with weight-vector loads shared by a
+//    group of output columns and broadcast input scalars. Used when OC fills
+//    the vector register.
+//  * width-vectorized (NCHW in/out, OIHW weights — Darknet's native layout):
+//    lanes span consecutive output columns with unit-stride row loads and
+//    broadcast weights, register-blocked over 8 output channels — the
+//    long-vector-friendly form that keeps high-resolution low-channel layers
+//    (e.g. layer 1) scaling with VLEN.
+//
+// Weight reformatting and activation-layout residency are treated as offline,
+// matching how the papers charge only the convolution kernel itself to the
+// Direct algorithm.
+#pragma once
+
+#include "algos/conv_args.h"
+#include "tensor/conv_desc.h"
+#include "vpu/buffer.h"
+#include "vpu/functional_engine.h"
+#include "vpu/trace_engine.h"
+
+namespace vlacnn {
+
+/// True when the channel-wide strategy is selected for this shape/VPU.
+bool direct_uses_wide(const ConvLayerDesc& d, std::uint64_t mvl);
+
+/// in: NHWC, weights: [oc][kh][kw][ic], out: NHWC.
+template <class E>
+void conv_direct(E& eng, const ConvLayerDesc& d, BufView in, BufView weights,
+                 BufView out, const Sampler& sampler);
+
+extern template void conv_direct<TraceEngine>(TraceEngine&,
+                                              const ConvLayerDesc&, BufView,
+                                              BufView, BufView, const Sampler&);
+extern template void conv_direct<FunctionalEngine>(FunctionalEngine&,
+                                                   const ConvLayerDesc&,
+                                                   BufView, BufView, BufView,
+                                                   const Sampler&);
+
+}  // namespace vlacnn

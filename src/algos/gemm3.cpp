@@ -1,0 +1,72 @@
+#include "algos/gemm3.h"
+
+#include "algos/gemm_common.h"
+
+namespace vlacnn {
+
+template <class E>
+void gemm3_kernel(E& eng, std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                  BufView a, BufView b, BufView c, const Sampler& sampler) {
+  using Vec = typename E::Vec;
+  const bool sample = !E::computes();
+
+  // j-panels as sampling units; each panel does m*k*gvl MACs.
+  const std::uint64_t mvl = eng.vpu().mvl();
+  const std::uint64_t panels = (n + mvl - 1) / mvl;
+  const double work_per_panel =
+      static_cast<double>(m) * k * static_cast<double>(std::min(n, mvl));
+  const std::uint64_t run_panels =
+      sample ? sampler.choose(panels, work_per_panel) : panels;
+  if (sample && run_panels < panels) {
+    eng.timing()->push_scale(static_cast<double>(panels) / run_panels);
+  }
+
+  for (std::uint64_t p = 0; p < run_panels; ++p) {
+    const std::uint64_t j = p * mvl;
+    const std::uint64_t gvl = eng.setvl(n - j);
+    for (std::uint64_t i = 0; i < m; i += kGemmUnroll) {
+      const std::uint64_t u_count = std::min<std::uint64_t>(kGemmUnroll, m - i);
+      Vec vc[kGemmUnroll];
+      for (std::uint64_t u = 0; u < u_count; ++u) {
+        vc[u] = eng.vload(c, (i + u) * n + j, gvl);
+      }
+      for (std::uint64_t kk = 0; kk < k; ++kk) {
+        Vec vb = eng.vload(b, kk * n + j, gvl);
+        for (std::uint64_t u = 0; u < u_count; ++u) {
+          const float s = eng.scalar_load(a, (i + u) * k + kk);
+          eng.vfma_vs(vc[u], s, vb);
+        }
+      }
+      for (std::uint64_t u = 0; u < u_count; ++u) {
+        eng.vstore(vc[u], c, (i + u) * n + j);
+      }
+      eng.scalar_ops(2 * k);  // loop counter + address bookkeeping
+    }
+  }
+
+  if (sample && run_panels < panels) eng.timing()->pop_scale();
+}
+
+template <class E>
+void conv_gemm3(E& eng, const ConvLayerDesc& d, BufView in, BufView weights,
+                BufView out, const Sampler& sampler) {
+  Scratch col = eng.alloc(d.gemm_k() * d.gemm_n());
+  im2col_engine(eng, d, in, col.view, sampler);
+  gemm3_kernel(eng, d.gemm_m(), d.gemm_n(), d.gemm_k(), weights, col.view, out,
+               sampler);
+}
+
+template void gemm3_kernel<TraceEngine>(TraceEngine&, std::uint64_t,
+                                        std::uint64_t, std::uint64_t, BufView,
+                                        BufView, BufView, const Sampler&);
+template void gemm3_kernel<FunctionalEngine>(FunctionalEngine&, std::uint64_t,
+                                             std::uint64_t, std::uint64_t,
+                                             BufView, BufView, BufView,
+                                             const Sampler&);
+template void conv_gemm3<TraceEngine>(TraceEngine&, const ConvLayerDesc&,
+                                      BufView, BufView, BufView, const Sampler&);
+template void conv_gemm3<FunctionalEngine>(FunctionalEngine&,
+                                           const ConvLayerDesc&, BufView,
+                                           BufView, BufView, const Sampler&);
+
+}  // namespace vlacnn

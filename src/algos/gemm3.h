@@ -1,0 +1,42 @@
+// im2col + 3-loop GEMM (Paper I Fig. 2): jik loop order, vector length agnostic
+// j loop, 16-way register-blocked i loop, fused multiply-add inner kernel.
+#pragma once
+
+#include "algos/conv_args.h"
+#include "tensor/conv_desc.h"
+#include "vpu/buffer.h"
+#include "vpu/functional_engine.h"
+#include "vpu/trace_engine.h"
+
+namespace vlacnn {
+
+/// C(M x N) += A(M x K) * B(K x N); C must be zero-initialised by the caller in
+/// functional mode. Sampling unit: one j-panel of `gvl` columns.
+template <class E>
+void gemm3_kernel(E& eng, std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                  BufView a, BufView b, BufView c, const Sampler& sampler);
+
+/// Full convolution: im2col into engine scratch, then 3-loop GEMM.
+/// in: NCHW, weights: OIHW (= M x K row-major), out: NCHW (= M x N row-major).
+template <class E>
+void conv_gemm3(E& eng, const ConvLayerDesc& d, BufView in, BufView weights,
+                BufView out, const Sampler& sampler);
+
+extern template void gemm3_kernel<TraceEngine>(TraceEngine&, std::uint64_t,
+                                               std::uint64_t, std::uint64_t,
+                                               BufView, BufView, BufView,
+                                               const Sampler&);
+extern template void gemm3_kernel<FunctionalEngine>(FunctionalEngine&,
+                                                    std::uint64_t, std::uint64_t,
+                                                    std::uint64_t, BufView,
+                                                    BufView, BufView,
+                                                    const Sampler&);
+extern template void conv_gemm3<TraceEngine>(TraceEngine&, const ConvLayerDesc&,
+                                             BufView, BufView, BufView,
+                                             const Sampler&);
+extern template void conv_gemm3<FunctionalEngine>(FunctionalEngine&,
+                                                  const ConvLayerDesc&, BufView,
+                                                  BufView, BufView,
+                                                  const Sampler&);
+
+}  // namespace vlacnn

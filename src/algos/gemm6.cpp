@@ -1,0 +1,143 @@
+#include "algos/gemm6.h"
+
+#include "algos/gemm_common.h"
+
+namespace vlacnn {
+
+namespace {
+
+/// Vector copy of `len` contiguous elements (pack helper).
+template <class E>
+void copy_row(E& eng, BufView src, std::uint64_t src_off, BufView dst,
+              std::uint64_t dst_off, std::uint64_t len) {
+  for (std::uint64_t x = 0; x < len;) {
+    const std::uint64_t vl = eng.setvl(len - x);
+    auto v = eng.vload(src, src_off + x, vl);
+    eng.vstore(v, dst, dst_off + x);
+    x += vl;
+  }
+}
+
+}  // namespace
+
+template <class E>
+void gemm6_kernel(E& eng, std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                  BufView a, BufView b, BufView c, const Gemm6Blocks& blocks,
+                  const Sampler& sampler) {
+  using Vec = typename E::Vec;
+  const bool sample = !E::computes();
+  const std::uint64_t bm = blocks.block_m;
+  const std::uint64_t bn = blocks.block_n;
+  const std::uint64_t bk = blocks.block_k;
+
+  Scratch pack_b = eng.alloc(bk * bn);
+  Scratch pack_a = eng.alloc(bm * bk);
+
+  const std::uint64_t jj_blocks = (n + bn - 1) / bn;
+  const std::uint64_t kk_blocks = (k + bk - 1) / bk;
+  const std::uint64_t units = jj_blocks * kk_blocks;
+  // Cache-block units are heterogeneous (edge blocks are smaller), so the
+  // extrapolation is work-weighted: simulate the shortest prefix covering the
+  // sampling budget and scale by total work / sampled work.
+  double total_work = 0;
+  for (std::uint64_t u = 0; u < units; ++u) {
+    const std::uint64_t nb = std::min(bn, n - (u / kk_blocks) * bn);
+    const std::uint64_t kb = std::min(bk, k - (u % kk_blocks) * bk);
+    total_work += static_cast<double>(m) * nb * kb;
+  }
+  std::uint64_t run_units = units;
+  double sampled_work = total_work;
+  if (sample && !sampler.exact) {
+    const double budget = static_cast<double>(sampler.max_work);
+    sampled_work = 0;
+    run_units = 0;
+    while (run_units < units &&
+           (sampled_work < budget || run_units < std::min<std::uint64_t>(units, 4))) {
+      const std::uint64_t nb = std::min(bn, n - (run_units / kk_blocks) * bn);
+      const std::uint64_t kb = std::min(bk, k - (run_units % kk_blocks) * bk);
+      sampled_work += static_cast<double>(m) * nb * kb;
+      ++run_units;
+    }
+  }
+  if (sample && run_units < units) {
+    eng.timing()->push_scale(total_work / sampled_work);
+  }
+
+  for (std::uint64_t unit = 0; unit < run_units; ++unit) {
+    const std::uint64_t jj = (unit / kk_blocks) * bn;
+    const std::uint64_t kk = (unit % kk_blocks) * bk;
+    const std::uint64_t nb = std::min(bn, n - jj);
+    const std::uint64_t kb = std::min(bk, k - kk);
+
+    // Pack the B block (kb x nb) into contiguous storage.
+    for (std::uint64_t kr = 0; kr < kb; ++kr) {
+      copy_row(eng, b, (kk + kr) * n + jj, pack_b.view, kr * nb, nb);
+    }
+
+    for (std::uint64_t ii = 0; ii < m; ii += bm) {
+      const std::uint64_t mb = std::min(bm, m - ii);
+      // Pack the A block (mb x kb).
+      for (std::uint64_t ir = 0; ir < mb; ++ir) {
+        copy_row(eng, a, (ii + ir) * k + kk, pack_a.view, ir * kb, kb);
+      }
+
+      for (std::uint64_t j = 0; j < nb;) {
+        const std::uint64_t gvl = eng.setvl(nb - j);
+        for (std::uint64_t i = 0; i < mb; i += kGemmUnroll) {
+          const std::uint64_t u_count =
+              std::min<std::uint64_t>(kGemmUnroll, mb - i);
+          // Prefetch the C sub-block and the packed panels (no-ops when the
+          // toolchain drops prefetches; effective on hardware — Paper I).
+          eng.prefetch(c, (ii + i) * n + jj + j, u_count * gvl * 4);
+          eng.prefetch(pack_a.view, i * kb, u_count * kb * 4);
+          eng.prefetch(pack_b.view, j, kb * gvl * 4);
+          Vec vc[kGemmUnroll];
+          for (std::uint64_t u = 0; u < u_count; ++u) {
+            vc[u] = eng.vload(c, (ii + i + u) * n + jj + j, gvl);
+          }
+          for (std::uint64_t kr = 0; kr < kb; ++kr) {
+            Vec vb = eng.vload(pack_b.view, kr * nb + j, gvl);
+            for (std::uint64_t u = 0; u < u_count; ++u) {
+              const float s = eng.scalar_load(pack_a.view, (i + u) * kb + kr);
+              eng.vfma_vs(vc[u], s, vb);
+            }
+          }
+          for (std::uint64_t u = 0; u < u_count; ++u) {
+            eng.vstore(vc[u], c, (ii + i + u) * n + jj + j);
+          }
+          eng.scalar_ops(2 * kb);
+        }
+        j += gvl;
+      }
+    }
+  }
+
+  if (sample && run_units < units) eng.timing()->pop_scale();
+}
+
+template <class E>
+void conv_gemm6(E& eng, const ConvLayerDesc& d, BufView in, BufView weights,
+                BufView out, const Gemm6Blocks& blocks, const Sampler& sampler) {
+  Scratch col = eng.alloc(d.gemm_k() * d.gemm_n());
+  im2col_engine(eng, d, in, col.view, sampler);
+  gemm6_kernel(eng, d.gemm_m(), d.gemm_n(), d.gemm_k(), weights, col.view, out,
+               blocks, sampler);
+}
+
+template void gemm6_kernel<TraceEngine>(TraceEngine&, std::uint64_t,
+                                        std::uint64_t, std::uint64_t, BufView,
+                                        BufView, BufView, const Gemm6Blocks&,
+                                        const Sampler&);
+template void gemm6_kernel<FunctionalEngine>(FunctionalEngine&, std::uint64_t,
+                                             std::uint64_t, std::uint64_t,
+                                             BufView, BufView, BufView,
+                                             const Gemm6Blocks&, const Sampler&);
+template void conv_gemm6<TraceEngine>(TraceEngine&, const ConvLayerDesc&,
+                                      BufView, BufView, BufView,
+                                      const Gemm6Blocks&, const Sampler&);
+template void conv_gemm6<FunctionalEngine>(FunctionalEngine&,
+                                           const ConvLayerDesc&, BufView,
+                                           BufView, BufView, const Gemm6Blocks&,
+                                           const Sampler&);
+
+}  // namespace vlacnn

@@ -1,0 +1,43 @@
+// im2col + 6-loop BLIS-like GEMM (Paper I Fig. 3): cache blocking, A/B panel
+// packing, register blocking, software prefetch, VLA vectorized inner kernel.
+#pragma once
+
+#include "algos/conv_args.h"
+#include "tensor/conv_desc.h"
+#include "vpu/buffer.h"
+#include "vpu/functional_engine.h"
+#include "vpu/trace_engine.h"
+
+namespace vlacnn {
+
+/// C(M x N) += A(M x K) * B(K x N) with blocking `blocks`. C must be
+/// zero-initialised by the caller in functional mode.
+/// Sampling unit: one (jj, kk) cache-block pair, including its packing.
+template <class E>
+void gemm6_kernel(E& eng, std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                  BufView a, BufView b, BufView c, const Gemm6Blocks& blocks,
+                  const Sampler& sampler);
+
+/// Full convolution: im2col + 6-loop GEMM. Layouts as conv_gemm3.
+template <class E>
+void conv_gemm6(E& eng, const ConvLayerDesc& d, BufView in, BufView weights,
+                BufView out, const Gemm6Blocks& blocks, const Sampler& sampler);
+
+extern template void gemm6_kernel<TraceEngine>(TraceEngine&, std::uint64_t,
+                                               std::uint64_t, std::uint64_t,
+                                               BufView, BufView, BufView,
+                                               const Gemm6Blocks&,
+                                               const Sampler&);
+extern template void gemm6_kernel<FunctionalEngine>(
+    FunctionalEngine&, std::uint64_t, std::uint64_t, std::uint64_t, BufView,
+    BufView, BufView, const Gemm6Blocks&, const Sampler&);
+extern template void conv_gemm6<TraceEngine>(TraceEngine&, const ConvLayerDesc&,
+                                             BufView, BufView, BufView,
+                                             const Gemm6Blocks&, const Sampler&);
+extern template void conv_gemm6<FunctionalEngine>(FunctionalEngine&,
+                                                  const ConvLayerDesc&, BufView,
+                                                  BufView, BufView,
+                                                  const Gemm6Blocks&,
+                                                  const Sampler&);
+
+}  // namespace vlacnn

@@ -1,0 +1,79 @@
+// Engine-templated im2col: the data-side transformation of the im2col+GEMM
+// algorithms, vectorized like the Darknet kernels of the papers (contiguous row
+// copies for stride 1, strided element loads otherwise, explicit zero fill for
+// padding). Charged to the kernel's timing, unlike the weight-side preparation
+// which is offline.
+#pragma once
+
+#include "algos/conv_args.h"
+#include "tensor/conv_desc.h"
+#include "vpu/buffer.h"
+
+namespace vlacnn {
+
+/// Expand NCHW input `in` into the K x N column matrix `col`
+/// (K = ic*kh*kw, N = oh*ow). In trace mode a sampled prefix of the K rows is
+/// simulated and extrapolated.
+template <class E>
+void im2col_engine(E& eng, const ConvLayerDesc& d, BufView in, BufView col,
+                   const Sampler& sampler) {
+  const int oh = d.oh();
+  const int ow = d.ow();
+  const std::uint64_t n = d.gemm_n();
+  const std::uint64_t k_rows = d.gemm_k();
+
+  const bool sample = !E::computes();
+  const std::uint64_t rows_to_run =
+      sample ? sampler.choose(k_rows, static_cast<double>(oh) * ow) : k_rows;
+  if (sample && rows_to_run < k_rows) {
+    eng.timing()->push_scale(static_cast<double>(k_rows) / rows_to_run);
+  }
+
+  for (std::uint64_t row = 0; row < rows_to_run; ++row) {
+    const int c = static_cast<int>(row / (d.kh * d.kw));
+    const int ky = static_cast<int>((row / d.kw) % d.kh);
+    const int kx = static_cast<int>(row % d.kw);
+    const std::uint64_t in_chan = static_cast<std::uint64_t>(c) * d.ih * d.iw;
+
+    for (int y = 0; y < oh; ++y) {
+      const int iy = y * d.stride + ky - d.pad;
+      const std::uint64_t dst_row = row * n + static_cast<std::uint64_t>(y) * ow;
+      if (iy < 0 || iy >= d.ih) {
+        // Whole output row maps to padding: vector zero fill.
+        for (std::uint64_t x = 0; x < static_cast<std::uint64_t>(ow);) {
+          const std::uint64_t vl = eng.setvl(ow - x);
+          auto z = eng.vbroadcast(0.0f, vl);
+          eng.vstore(z, col, dst_row + x);
+          x += vl;
+        }
+        continue;
+      }
+      // Valid x range: 0 <= x*stride + kx - pad < iw.
+      int x0 = 0;
+      while (x0 < ow && x0 * d.stride + kx - d.pad < 0) ++x0;
+      int x1 = ow;
+      while (x1 > x0 && (x1 - 1) * d.stride + kx - d.pad >= d.iw) --x1;
+
+      for (int x = 0; x < x0; ++x) eng.scalar_store(col, dst_row + x, 0.0f);
+      const std::uint64_t src =
+          in_chan + static_cast<std::uint64_t>(iy) * d.iw +
+          (static_cast<std::int64_t>(x0) * d.stride + kx - d.pad);
+      for (std::uint64_t x = static_cast<std::uint64_t>(x0);
+           x < static_cast<std::uint64_t>(x1);) {
+        const std::uint64_t vl = eng.setvl(static_cast<std::uint64_t>(x1) - x);
+        auto v = d.stride == 1
+                     ? eng.vload(in, src + (x - x0), vl)
+                     : eng.vload_strided(in, src + (x - x0) * d.stride,
+                                         d.stride, vl);
+        eng.vstore(v, col, dst_row + x);
+        x += vl;
+      }
+      for (int x = x1; x < ow; ++x) eng.scalar_store(col, dst_row + x, 0.0f);
+      eng.scalar_ops(4);  // row bookkeeping
+    }
+  }
+
+  if (sample && rows_to_run < k_rows) eng.timing()->pop_scale();
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,51 @@
+#include "algos/reference.h"
+
+#include <stdexcept>
+
+namespace vlacnn {
+
+void conv_reference(const ConvLayerDesc& d, const float* input,
+                    const float* weights, float* out) {
+  const int oh = d.oh();
+  const int ow = d.ow();
+  for (int oc = 0; oc < d.oc; ++oc) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        double acc = 0.0;
+        for (int ic = 0; ic < d.ic; ++ic) {
+          for (int ky = 0; ky < d.kh; ++ky) {
+            const int iy = y * d.stride + ky - d.pad;
+            if (iy < 0 || iy >= d.ih) continue;
+            for (int kx = 0; kx < d.kw; ++kx) {
+              const int ix = x * d.stride + kx - d.pad;
+              if (ix < 0 || ix >= d.iw) continue;
+              const float in_v =
+                  input[(static_cast<std::size_t>(ic) * d.ih + iy) * d.iw + ix];
+              const float w_v =
+                  weights[((static_cast<std::size_t>(oc) * d.ic + ic) * d.kh +
+                           ky) * d.kw + kx];
+              acc += static_cast<double>(in_v) * w_v;
+            }
+          }
+        }
+        out[(static_cast<std::size_t>(oc) * oh + y) * ow + x] =
+            static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+Tensor conv_reference(const ConvLayerDesc& d, const Tensor& input,
+                      const std::vector<float>& weights) {
+  if (input.layout() != Layout::kNCHW) {
+    throw std::invalid_argument("conv_reference: input must be NCHW");
+  }
+  if (weights.size() != d.weight_elems()) {
+    throw std::invalid_argument("conv_reference: weight size mismatch");
+  }
+  Tensor out(d.oc, d.oh(), d.ow(), Layout::kNCHW);
+  conv_reference(d, input.data(), weights.data(), out.data());
+  return out;
+}
+
+}  // namespace vlacnn

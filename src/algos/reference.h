@@ -1,0 +1,19 @@
+// Scalar reference convolution — the ground truth every vectorized algorithm is
+// validated against.
+#pragma once
+
+#include "tensor/conv_desc.h"
+#include "tensor/tensor.h"
+
+namespace vlacnn {
+
+/// Plain direct convolution, NCHW input/output, OIHW weights, zero padding.
+/// out has oc x oh x ow elements.
+void conv_reference(const ConvLayerDesc& desc, const float* input,
+                    const float* weights, float* out);
+
+/// Tensor convenience wrapper (input NCHW; returns NCHW output).
+Tensor conv_reference(const ConvLayerDesc& desc, const Tensor& input,
+                      const std::vector<float>& weights);
+
+}  // namespace vlacnn

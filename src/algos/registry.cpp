@@ -1,0 +1,198 @@
+#include "algos/registry.h"
+
+#include <stdexcept>
+
+#include "algos/direct.h"
+#include "algos/gemm3.h"
+#include "algos/gemm6.h"
+#include "algos/winograd.h"
+#include "vpu/functional_engine.h"
+#include "vpu/trace_engine.h"
+
+namespace vlacnn {
+
+SimConfig make_sim_config(std::uint32_t vlen_bits, std::uint64_t l2_bytes,
+                          std::uint32_t lanes, VpuAttach attach) {
+  SimConfig c;
+  c.vpu.vlen_bits = vlen_bits;
+  c.vpu.lanes = lanes;
+  c.vpu.attach = attach;
+  c.mem.l2.size_bytes = l2_bytes;
+  c.mem.l2.ways = 16;
+  c.mem.attach = attach;
+  return c;
+}
+
+namespace {
+
+std::vector<float> flatten_nhwc(const Tensor& in) {
+  Tensor t = in.to_layout(Layout::kNHWC);
+  return std::vector<float>(t.data(), t.data() + t.size());
+}
+
+}  // namespace
+
+std::vector<float> reformat_weights_direct(const ConvLayerDesc& d,
+                                           const std::vector<float>& w,
+                                           std::uint64_t mvl) {
+  // OIHW -> [oc/mvl][kh][kw][ic][block]: unit-stride weight-vector loads with
+  // a contiguous per-segment working set (avoids the power-of-two set-aliasing
+  // a plain HWIO layout suffers in the L2).
+  std::vector<float> out(d.weight_elems());
+  const std::uint64_t block = std::min<std::uint64_t>(mvl, d.oc);
+  std::size_t base = 0;
+  for (int ob = 0; ob < d.oc; ob += static_cast<int>(block)) {
+    const std::uint64_t cur =
+        std::min<std::uint64_t>(block, d.oc - static_cast<std::uint64_t>(ob));
+    for (int ky = 0; ky < d.kh; ++ky) {
+      for (int kx = 0; kx < d.kw; ++kx) {
+        for (int ic = 0; ic < d.ic; ++ic) {
+          for (std::uint64_t b = 0; b < cur; ++b) {
+            const std::size_t oc = static_cast<std::size_t>(ob) + b;
+            out[base + ((static_cast<std::size_t>(ky) * d.kw + kx) * d.ic +
+                        ic) * cur + b] =
+                w[((oc * d.ic + ic) * d.kh + ky) * d.kw + kx];
+          }
+        }
+      }
+    }
+    base += static_cast<std::size_t>(d.kh) * d.kw * d.ic * cur;
+  }
+  return out;
+}
+
+TimingStats conv_simulate(Algo algo, const ConvLayerDesc& d,
+                          const SimConfig& config_in) {
+  if (!algo_applicable(algo, d)) {
+    throw std::invalid_argument("conv_simulate: " + std::string(to_string(algo)) +
+                                " not applicable to " + d.to_string());
+  }
+  SimConfig config = config_in;
+  config.mem.attach = config.vpu.attach;
+  MemorySystem mem(config.mem);
+  TimingModel timing(config.vpu, &mem, config.timing);
+  TraceEngine eng(config.vpu, &timing);
+
+  // Bind order matches conv_functional's per-algorithm order exactly, so a
+  // hybrid functional+timing run sees identical virtual addresses (checked by
+  // Simulation.HybridFunctionalTimingMatchesTrace).
+  const BufView in = eng.bind(nullptr, d.in_elems());
+
+  switch (algo) {
+    case Algo::kDirect: {
+      const BufView w = eng.bind(nullptr, d.weight_elems());
+      const BufView out = direct_uses_wide(d, config.vpu.mvl())
+                              ? eng.alloc(d.out_elems()).view
+                              : eng.bind(nullptr, d.out_elems());
+      conv_direct(eng, d, in, w, out, config.sampler);
+      break;
+    }
+    case Algo::kGemm3: {
+      const BufView w = eng.bind(nullptr, d.weight_elems());
+      const BufView out = eng.bind(nullptr, d.out_elems());
+      conv_gemm3(eng, d, in, w, out, config.sampler);
+      break;
+    }
+    case Algo::kGemm6: {
+      const BufView w = eng.bind(nullptr, d.weight_elems());
+      const BufView out = eng.bind(nullptr, d.out_elems());
+      conv_gemm6(eng, d, in, w, out, config.blocks, config.sampler);
+      break;
+    }
+    case Algo::kWinograd: {
+      const BufView u = eng.bind(
+          nullptr, 64ull * static_cast<std::uint64_t>(d.oc) * d.ic);
+      const BufView out = eng.bind(nullptr, d.out_elems());
+      conv_winograd(eng, d, in, u, out, config.sampler);
+      break;
+    }
+  }
+  return timing.stats();
+}
+
+Tensor conv_functional(Algo algo, const ConvLayerDesc& d, const Tensor& in,
+                       const std::vector<float>& weights_oihw,
+                       const VpuConfig& vpu, TimingStats* timing_out,
+                       const SimConfig* config_in) {
+  if (!algo_applicable(algo, d)) {
+    throw std::invalid_argument("conv_functional: algorithm not applicable");
+  }
+  if (in.layout() != Layout::kNCHW || in.c() != d.ic || in.h() != d.ih ||
+      in.w() != d.iw) {
+    throw std::invalid_argument("conv_functional: input shape/layout mismatch");
+  }
+  if (weights_oihw.size() != d.weight_elems()) {
+    throw std::invalid_argument("conv_functional: weight size mismatch");
+  }
+
+  SimConfig config = config_in ? *config_in : SimConfig{};
+  config.vpu = vpu;
+  config.mem.attach = vpu.attach;
+  MemorySystem mem(config.mem);
+  TimingModel timing(vpu, &mem, config.timing);
+  FunctionalEngine eng(vpu, timing_out ? &timing : nullptr);
+
+  Tensor out(d.oc, d.oh(), d.ow(), Layout::kNCHW);
+
+  switch (algo) {
+    case Algo::kDirect: {
+      if (direct_uses_wide(d, vpu.mvl())) {
+        const std::vector<float> in_nhwc = flatten_nhwc(in);
+        const std::vector<float> w =
+            reformat_weights_direct(d, weights_oihw, vpu.mvl());
+        const BufView in_v = eng.bind(in_nhwc.data(), in_nhwc.size());
+        const BufView w_v = eng.bind(w.data(), w.size());
+        Scratch out_nhwc = eng.alloc(d.out_elems());
+        conv_direct(eng, d, in_v, w_v, out_nhwc.view, config.sampler);
+        // Host-side layout restore (uncharged, like the forward conversion).
+        const int oh = d.oh();
+        const int ow = d.ow();
+        for (int c = 0; c < d.oc; ++c) {
+          for (int y = 0; y < oh; ++y) {
+            for (int x = 0; x < ow; ++x) {
+              out.at(c, y, x) =
+                  (*out_nhwc.storage)[(static_cast<std::size_t>(y) * ow + x) *
+                                          d.oc +
+                                      c];
+            }
+          }
+        }
+      } else {
+        // Binds hoisted into statements: argument evaluation order is
+        // unspecified, and the arena addresses must match conv_simulate's.
+        const BufView in_v = eng.bind(in.data(), in.size());
+        const BufView w_v = eng.bind(weights_oihw.data(), weights_oihw.size());
+        const BufView out_v = eng.bind(out.data(), out.size());
+        conv_direct(eng, d, in_v, w_v, out_v, config.sampler);
+      }
+      break;
+    }
+    case Algo::kGemm3: {
+      const BufView in_v = eng.bind(in.data(), in.size());
+      const BufView w_v = eng.bind(weights_oihw.data(), weights_oihw.size());
+      const BufView out_v = eng.bind(out.data(), out.size());
+      conv_gemm3(eng, d, in_v, w_v, out_v, config.sampler);
+      break;
+    }
+    case Algo::kGemm6: {
+      const BufView in_v = eng.bind(in.data(), in.size());
+      const BufView w_v = eng.bind(weights_oihw.data(), weights_oihw.size());
+      const BufView out_v = eng.bind(out.data(), out.size());
+      conv_gemm6(eng, d, in_v, w_v, out_v, config.blocks, config.sampler);
+      break;
+    }
+    case Algo::kWinograd: {
+      std::vector<float> u(64ull * static_cast<std::uint64_t>(d.oc) * d.ic);
+      winograd_prepare_weights(d, weights_oihw.data(), u.data());
+      const BufView in_v = eng.bind(in.data(), in.size());
+      const BufView u_v = eng.bind(u.data(), u.size());
+      const BufView out_v = eng.bind(out.data(), out.size());
+      conv_winograd(eng, d, in_v, u_v, out_v, config.sampler);
+      break;
+    }
+  }
+  if (timing_out != nullptr) *timing_out = timing.stats();
+  return out;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,296 @@
+#include "algos/winograd.h"
+
+#include <stdexcept>
+
+#include "wino/transforms.h"
+
+namespace vlacnn {
+
+// Orientation bookkeeping (verified by tests/test_winograd.cpp):
+//   * the input transform computes Z = (B^T d B^T')' tile-transposed, i.e. the
+//     V scratch holds V_true^T per (channel, tile),
+//   * U tiles are therefore stored transposed by winograd_prepare_weights so the
+//     per-slot Hadamard pairs matching coefficients,
+//   * the output transform's two A^T stages plus the intermediate transpose
+//     then yield Y in natural row-major orientation.
+
+std::uint64_t winograd_tile_count(const ConvLayerDesc& d, int m) {
+  const std::uint64_t th = (d.oh() + m - 1) / m;
+  const std::uint64_t tw = (d.ow() + m - 1) / m;
+  return th * tw;
+}
+
+void winograd_prepare_weights(const ConvLayerDesc& d, const float* weights_oihw,
+                              float* u, int m) {
+  if (!algo_applicable(Algo::kWinograd, d)) {
+    throw std::invalid_argument("winograd: layer not applicable");
+  }
+  const WinogradTransform& t = winograd_transform(m);
+  const int n = t.n();
+  std::vector<float> tile(static_cast<std::size_t>(n) * n);
+  const std::uint64_t plane = static_cast<std::uint64_t>(d.oc) * d.ic;
+  for (int oc = 0; oc < d.oc; ++oc) {
+    for (int ic = 0; ic < d.ic; ++ic) {
+      const float* g =
+          weights_oihw + (static_cast<std::uint64_t>(oc) * d.ic + ic) * 9;
+      wino_transform_weight(t, g, tile.data());
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          // Slot (i, j) holds the transposed tile entry.
+          u[(static_cast<std::uint64_t>(i) * n + j) * plane +
+            static_cast<std::uint64_t>(oc) * d.ic + ic] =
+              tile[static_cast<std::uint64_t>(j) * n + i];
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Dense-ish linear combination stage: out_rows x vl <- coeff * in_rows x vl.
+/// Skips zero coefficients (the transform matrices are sparse).
+template <class E>
+void transform_stage(E& eng, const double* coeff, int out_rows, int in_rows,
+                     BufView src, BufView dst, std::uint64_t vl) {
+  using Vec = typename E::Vec;
+  for (int i = 0; i < out_rows; ++i) {
+    Vec acc = eng.vbroadcast(0.0f, vl);
+    for (int j = 0; j < in_rows; ++j) {
+      const double c = coeff[static_cast<std::uint64_t>(i) * in_rows + j];
+      if (c == 0.0) continue;
+      Vec vj = eng.vload(src, static_cast<std::uint64_t>(j) * vl, vl);
+      eng.vfma_vs(acc, static_cast<float>(c), vj);
+    }
+    eng.vstore(acc, dst, static_cast<std::uint64_t>(i) * vl);
+  }
+}
+
+/// Per-channel transpose through scratch: dst[j][c][i] = src[i][c][j].
+/// src has `rows` rows of width `src_w` per channel; dst gets src_w rows of
+/// width `rows` per channel (dst per-channel width == rows).
+template <class E>
+void transpose_stage(E& eng, BufView src, BufView dst, int cn, int rows,
+                     std::uint64_t src_vl, std::uint64_t dst_vl, int src_w) {
+  for (int c = 0; c < cn; ++c) {
+    for (int i = 0; i < rows; ++i) {
+      auto v = eng.vload(src, static_cast<std::uint64_t>(i) * src_vl +
+                                  static_cast<std::uint64_t>(c) * src_w,
+                         src_w);
+      eng.vstore_strided(v, dst,
+                         static_cast<std::uint64_t>(c) * rows + i,
+                         static_cast<std::int64_t>(dst_vl));
+    }
+  }
+}
+
+}  // namespace
+
+template <class E>
+void conv_winograd(E& eng, const ConvLayerDesc& d, BufView in, BufView u,
+                   BufView out, const Sampler& sampler, int m) {
+  using Vec = typename E::Vec;
+  if (!algo_applicable(Algo::kWinograd, d)) {
+    throw std::invalid_argument("winograd: layer not applicable");
+  }
+  const WinogradTransform& wt = winograd_transform(m);
+  const int kM = m;
+  const int kN = wt.n();
+  const int kSlots = kN * kN;
+  const int oh = d.oh();
+  const int ow = d.ow();
+  const std::uint64_t tw = (static_cast<std::uint64_t>(ow) + kM - 1) / kM;
+  const std::uint64_t tiles = winograd_tile_count(d, m);
+  const std::uint64_t p = tiles;
+  const bool sample = !E::computes();
+
+  // Channel block: vector spans cb channels x 8 tile columns, capped at the
+  // 2048-bit tuple block size.
+  const std::uint64_t vl_cap = std::min<std::uint64_t>(eng.vpu().mvl(),
+                                                       kWinoVlCapElems);
+  const int cb_max = static_cast<int>(std::max<std::uint64_t>(1, vl_cap / kN));
+
+  Scratch v_buf = eng.alloc(static_cast<std::uint64_t>(kSlots) * d.ic * p);
+  Scratch m_buf = eng.alloc(static_cast<std::uint64_t>(kSlots) * d.oc * p);
+  Scratch t0 = eng.alloc(static_cast<std::uint64_t>(cb_max) * kN * kN);
+  Scratch t1 = eng.alloc(static_cast<std::uint64_t>(cb_max) * kN * kN);
+  Scratch t2 = eng.alloc(static_cast<std::uint64_t>(cb_max) * kN * kN);
+  Scratch t3 = eng.alloc(static_cast<std::uint64_t>(cb_max) * kN * kN);
+
+  // ---- Phase A: input transform ---------------------------------------------
+  {
+    const double work = static_cast<double>(d.ic) * kSlots * 8;
+    const std::uint64_t run = sample ? sampler.choose(tiles, work) : tiles;
+    if (sample && run < tiles) {
+      eng.timing()->push_scale(static_cast<double>(tiles) / run);
+    }
+    for (std::uint64_t t = 0; t < run; ++t) {
+      const int ty = static_cast<int>(t / tw);
+      const int tx = static_cast<int>(t % tw);
+      const int y0 = ty * kM - d.pad;
+      const int x0 = tx * kM - d.pad;
+      for (int cb = 0; cb < d.ic; cb += cb_max) {
+        const int cn = std::min(cb_max, d.ic - cb);
+        const std::uint64_t vl = static_cast<std::uint64_t>(cn) * kN;
+        // Pack the 8x8 patches of cn channels: t0[row][c][col].
+        for (int c = 0; c < cn; ++c) {
+          const std::uint64_t chan =
+              static_cast<std::uint64_t>(cb + c) * d.ih * d.iw;
+          for (int r = 0; r < kN; ++r) {
+            const int iy = y0 + r;
+            const std::uint64_t dst =
+                static_cast<std::uint64_t>(r) * vl + static_cast<std::uint64_t>(c) * kN;
+            if (iy < 0 || iy >= d.ih) {
+              auto z = eng.vbroadcast(0.0f, kN);
+              eng.vstore(z, t0.view, dst);
+              continue;
+            }
+            if (x0 >= 0 && x0 + kN <= d.iw) {
+              auto v = eng.vload(in, chan + static_cast<std::uint64_t>(iy) * d.iw + x0, kN);
+              eng.vstore(v, t0.view, dst);
+            } else {
+              for (int col = 0; col < kN; ++col) {
+                const int ix = x0 + col;
+                const float val =
+                    (ix >= 0 && ix < d.iw)
+                        ? eng.scalar_load(in, chan + static_cast<std::uint64_t>(iy) * d.iw + ix)
+                        : 0.0f;
+                eng.scalar_store(t0.view, dst + col, val);
+              }
+            }
+          }
+        }
+        transform_stage(eng, wt.bt.data(), kN, kN, t0.view, t1.view, vl);
+        transpose_stage(eng, t1.view, t2.view, cn, kN, vl, vl, kN);
+        transform_stage(eng, wt.bt.data(), kN, kN, t2.view, t3.view, vl);
+        // Scatter to V[slot][channel][tile].
+        for (int i = 0; i < kN; ++i) {
+          for (int c = 0; c < cn; ++c) {
+            auto v = eng.vload(t3.view, static_cast<std::uint64_t>(i) * vl +
+                                            static_cast<std::uint64_t>(c) * kN,
+                               kN);
+            const std::uint64_t base =
+                (static_cast<std::uint64_t>(i) * kN) * d.ic * p +
+                static_cast<std::uint64_t>(cb + c) * p + t;
+            eng.vstore_strided(v, v_buf.view, base,
+                               static_cast<std::int64_t>(static_cast<std::uint64_t>(d.ic) * p));
+          }
+        }
+        eng.scalar_ops(16);
+      }
+    }
+    if (sample && run < tiles) eng.timing()->pop_scale();
+  }
+
+  // ---- Phase B: tuple multiplication (64 independent GEMMs) -----------------
+  {
+    constexpr int kUnrollB = 8;
+    const double work = static_cast<double>(d.oc) * d.ic * static_cast<double>(p);
+    const std::uint64_t run =
+        sample ? sampler.choose(kSlots, work) : static_cast<std::uint64_t>(kSlots);
+    if (sample && run < static_cast<std::uint64_t>(kSlots)) {
+      eng.timing()->push_scale(static_cast<double>(kSlots) / run);
+    }
+    for (std::uint64_t s = 0; s < run; ++s) {
+      const std::uint64_t v_base = s * static_cast<std::uint64_t>(d.ic) * p;
+      const std::uint64_t m_base = s * static_cast<std::uint64_t>(d.oc) * p;
+      const std::uint64_t u_base = s * static_cast<std::uint64_t>(d.oc) * d.ic;
+      for (std::uint64_t j = 0; j < p;) {
+        const std::uint64_t gvl = std::min<std::uint64_t>(eng.setvl(p - j), vl_cap);
+        for (int i = 0; i < d.oc; i += kUnrollB) {
+          const int uc = std::min(kUnrollB, d.oc - i);
+          Vec vc[kUnrollB];
+          for (int uu = 0; uu < uc; ++uu) vc[uu] = eng.vbroadcast(0.0f, gvl);
+          for (int k = 0; k < d.ic; ++k) {
+            Vec vb = eng.vload(v_buf.view,
+                               v_base + static_cast<std::uint64_t>(k) * p + j, gvl);
+            for (int uu = 0; uu < uc; ++uu) {
+              const float w = eng.scalar_load(
+                  u, u_base + static_cast<std::uint64_t>(i + uu) * d.ic + k);
+              eng.vfma_vs(vc[uu], w, vb);
+            }
+          }
+          for (int uu = 0; uu < uc; ++uu) {
+            eng.vstore(vc[uu], m_buf.view,
+                       m_base + static_cast<std::uint64_t>(i + uu) * p + j);
+          }
+          eng.scalar_ops(2 * d.ic);
+        }
+        j += gvl;
+      }
+    }
+    if (sample && run < static_cast<std::uint64_t>(kSlots)) {
+      eng.timing()->pop_scale();
+    }
+  }
+
+  // ---- Phase C: output transform ---------------------------------------------
+  {
+    const double work = static_cast<double>(d.oc) * kSlots * 6;
+    const std::uint64_t run = sample ? sampler.choose(tiles, work) : tiles;
+    if (sample && run < tiles) {
+      eng.timing()->push_scale(static_cast<double>(tiles) / run);
+    }
+    for (std::uint64_t t = 0; t < run; ++t) {
+      const int ty = static_cast<int>(t / tw);
+      const int tx = static_cast<int>(t % tw);
+      const int rows_valid = std::min(kM, oh - ty * kM);
+      const int cols_valid = std::min(kM, ow - tx * kM);
+      for (int cb = 0; cb < d.oc; cb += cb_max) {
+        const int cn = std::min(cb_max, d.oc - cb);
+        const std::uint64_t vl8 = static_cast<std::uint64_t>(cn) * kN;
+        const std::uint64_t vl6 = static_cast<std::uint64_t>(cn) * kM;
+        // Gather M tiles: t0[r][c][col] = M[(r*8+col)][cb+c][t].
+        for (int r = 0; r < kN; ++r) {
+          for (int c = 0; c < cn; ++c) {
+            auto v = eng.vload_strided(
+                m_buf.view,
+                (static_cast<std::uint64_t>(r) * kN) * d.oc * p +
+                    static_cast<std::uint64_t>(cb + c) * p + t,
+                static_cast<std::int64_t>(static_cast<std::uint64_t>(d.oc) * p),
+                kN);
+            eng.vstore(v, t0.view, static_cast<std::uint64_t>(r) * vl8 +
+                                       static_cast<std::uint64_t>(c) * kN);
+          }
+        }
+        transform_stage(eng, wt.at.data(), kM, kN, t0.view, t1.view, vl8);
+        // t2[j][c][i] = t1[i][c][j]: 6 rows of width 8 -> 8 rows of width 6.
+        for (int c = 0; c < cn; ++c) {
+          for (int i = 0; i < kM; ++i) {
+            auto v = eng.vload(t1.view, static_cast<std::uint64_t>(i) * vl8 +
+                                            static_cast<std::uint64_t>(c) * kN,
+                               kN);
+            eng.vstore_strided(v, t2.view,
+                               static_cast<std::uint64_t>(c) * kM + i,
+                               static_cast<std::int64_t>(vl6));
+          }
+        }
+        transform_stage(eng, wt.at.data(), kM, kN, t2.view, t3.view, vl6);
+        // Store valid rows/cols to NCHW output.
+        for (int c = 0; c < cn; ++c) {
+          for (int i = 0; i < rows_valid; ++i) {
+            auto v = eng.vload(t3.view, static_cast<std::uint64_t>(i) * vl6 +
+                                            static_cast<std::uint64_t>(c) * kM,
+                               cols_valid);
+            eng.vstore(v, out,
+                       (static_cast<std::uint64_t>(cb + c) * oh + ty * kM + i) *
+                               ow +
+                           tx * kM);
+          }
+        }
+        eng.scalar_ops(16);
+      }
+    }
+    if (sample && run < tiles) eng.timing()->pop_scale();
+  }
+}
+
+template void conv_winograd<TraceEngine>(TraceEngine&, const ConvLayerDesc&,
+                                         BufView, BufView, BufView,
+                                         const Sampler&, int);
+template void conv_winograd<FunctionalEngine>(FunctionalEngine&,
+                                              const ConvLayerDesc&, BufView,
+                                              BufView, BufView, const Sampler&,
+                                              int);
+
+}  // namespace vlacnn

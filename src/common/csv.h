@@ -1,0 +1,38 @@
+// Minimal CSV reading/writing used by the sweep results cache and the ML dataset.
+//
+// The format is deliberately restricted: no quoting, no embedded commas in fields.
+// Every producer in this library writes plain numeric/identifier fields, so the
+// restriction is enforced rather than worked around.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vlacnn {
+
+/// One parsed CSV table: a header row and string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a column by name; -1 if absent.
+  int column(const std::string& name) const;
+};
+
+/// Parse CSV text. Throws std::runtime_error on ragged rows.
+CsvTable parse_csv(const std::string& text);
+
+/// Read a CSV file; returns empty table if the file does not exist.
+CsvTable read_csv_file(const std::string& path);
+
+/// Serialize and write a table. Creates parent directory if needed.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+/// Append rows to an existing CSV file (writing the header if the file is new).
+/// Header mismatch with an existing file throws.
+void append_csv_rows(const std::string& path,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace vlacnn

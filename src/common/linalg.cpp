@@ -1,0 +1,85 @@
+#include "common/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlacnn {
+
+Mat matmul(const Mat& a, const Mat& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  Mat c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Mat transpose(const Mat& a) {
+  Mat t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+std::vector<double> solve(Mat a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) throw std::invalid_argument("solve: shape");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < 1e-14) {
+      throw std::runtime_error("solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) a(r, j) -= f * a(col, j);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= a(i, j) * x[j];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Mat& a, const std::vector<double>& b) {
+  if (a.rows() < a.cols() || b.size() != a.rows()) {
+    throw std::invalid_argument("least_squares: shape");
+  }
+  Mat at = transpose(a);
+  Mat ata = matmul(at, a);
+  std::vector<double> atb(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t r = 0; r < a.rows(); ++r) atb[i] += at(i, r) * b[r];
+  }
+  return solve(ata, atb);
+}
+
+double residual_inf(const Mat& a, const std::vector<double>& x,
+                    const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = -b[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    worst = std::max(worst, std::fabs(s));
+  }
+  return worst;
+}
+
+}  // namespace vlacnn

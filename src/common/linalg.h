@@ -1,0 +1,51 @@
+// Small dense linear algebra: just enough to derive and verify Winograd
+// transform matrices (Gaussian elimination with partial pivoting, normal-equation
+// least squares). Sizes are tiny (n <= 8), so clarity beats blocking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vlacnn {
+
+/// Row-major dense matrix of doubles.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Dimension mismatch throws.
+Mat matmul(const Mat& a, const Mat& b);
+
+/// Transpose.
+Mat transpose(const Mat& a);
+
+/// Solve A x = b with Gaussian elimination + partial pivoting.
+/// A must be square and nonsingular (throws otherwise).
+std::vector<double> solve(Mat a, std::vector<double> b);
+
+/// Least-squares solution of A x = b via normal equations (A: m x n, m >= n).
+std::vector<double> least_squares(const Mat& a, const std::vector<double>& b);
+
+/// max |A x - b| residual, for verifying solutions.
+double residual_inf(const Mat& a, const std::vector<double>& x,
+                    const std::vector<double>& b);
+
+}  // namespace vlacnn

@@ -1,0 +1,48 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace vlacnn {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection-free 128-bit multiply trick (Lemire); bias is negligible for the
+  // sizes used here but we keep the multiply-shift for speed and determinism.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+}
+
+float Rng::next_float() {
+  // 24 high bits -> [0,1) with full float precision.
+  return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+float Rng::normal() {
+  float u1 = next_float();
+  float u2 = next_float();
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  return std::sqrt(-2.0f * std::log(u1)) *
+         std::cos(6.283185307179586f * u2);
+}
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(next_below(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+void fill_uniform(Rng& rng, float* data, std::size_t n, float lo, float hi) {
+  for (std::size_t i = 0; i < n; ++i) data[i] = rng.uniform(lo, hi);
+}
+
+}  // namespace vlacnn

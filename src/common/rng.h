@@ -1,0 +1,45 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the library (synthetic weights/inputs, random-forest
+// bootstrapping, cross-validation shuffles) draw from this splitmix64/xoshiro-style
+// generator so that every experiment is reproducible bit-for-bit across runs and
+// platforms, independent of the C++ standard library's distribution implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vlacnn {
+
+/// Small, fast, reproducible PRNG (splitmix64 core).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n).
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform float in [0, 1).
+  float next_float();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Standard normal via Box-Muller (uses two uniforms; no cached spare to keep
+  /// the state trivially serializable).
+  float normal();
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<std::size_t>& v);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fill a span of floats with uniform values in [lo, hi).
+void fill_uniform(Rng& rng, float* data, std::size_t n, float lo, float hi);
+
+}  // namespace vlacnn

@@ -1,0 +1,37 @@
+#include "core/conv_engine.h"
+
+#include <stdexcept>
+
+namespace vlacnn {
+
+ConvEngine::ConvEngine(VpuConfig vpu, std::uint64_t l2_bytes)
+    : vpu_(vpu),
+      l2_bytes_(l2_bytes),
+      selector_(std::make_shared<HeuristicSelector>()) {
+  validate(vpu_);
+}
+
+void ConvEngine::set_selector(
+    std::shared_ptr<const AlgorithmSelector> selector) {
+  if (!selector) throw std::invalid_argument("conv_engine: null selector");
+  selector_ = std::move(selector);
+}
+
+Algo ConvEngine::choose(const ConvLayerDesc& desc) const {
+  return selector_->select(desc, vpu_.vlen_bits, l2_bytes_);
+}
+
+Tensor ConvEngine::run(const ConvLayerDesc& desc, const Tensor& input,
+                       const std::vector<float>& weights_oihw,
+                       std::optional<Algo> algo) const {
+  const Algo a = algo.value_or(choose(desc));
+  return conv_functional(a, desc, input, weights_oihw, vpu_);
+}
+
+TimingStats ConvEngine::estimate(const ConvLayerDesc& desc, Algo algo) const {
+  SimConfig config = make_sim_config(vpu_.vlen_bits, l2_bytes_, vpu_.lanes,
+                                     vpu_.attach);
+  return conv_simulate(algo, desc, config);
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,46 @@
+#include "core/selector.h"
+
+#include "ml/dataset.h"
+
+namespace vlacnn {
+
+Algo HeuristicSelector::select(const ConvLayerDesc& d, std::uint32_t vlen_bits,
+                               std::uint64_t l2_bytes) const {
+  (void)l2_bytes;
+  // High-resolution, few input channels: Direct (layer-1 shape).
+  if (d.ih >= 128 && d.ic * d.kw < static_cast<int>(vlen_bits / 32)) {
+    return Algo::kDirect;
+  }
+  // 3x3 stride-1: Winograd, unless channels are too few for inter-tile
+  // parallelism or the matrices are extremely skinny with huge channel counts.
+  if (algo_applicable(Algo::kWinograd, d) && d.ic >= 4) {
+    return Algo::kWinograd;
+  }
+  // Skinny matrices with many channels: blocked GEMM; otherwise 3-loop GEMM.
+  if (d.gemm_n() < 4096 || d.gemm_k() >= 256) return Algo::kGemm6;
+  return Algo::kGemm3;
+}
+
+ForestSelector ForestSelector::train(SweepDriver& driver,
+                                     const std::vector<const Network*>& nets,
+                                     const std::vector<std::uint32_t>& vlens,
+                                     const std::vector<std::uint64_t>& l2_sizes,
+                                     const ForestParams& params) {
+  const Dataset ds = build_selection_dataset(driver, nets, vlens, l2_sizes);
+  std::vector<std::size_t> all(ds.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  RandomForest forest;
+  forest.fit(ds, all, params);
+  return ForestSelector(std::move(forest));
+}
+
+Algo ForestSelector::select(const ConvLayerDesc& d, std::uint32_t vlen_bits,
+                            std::uint64_t l2_bytes) const {
+  const int label =
+      forest_.predict(selection_features(vlen_bits, l2_bytes, d));
+  Algo a = kAllAlgos[static_cast<std::size_t>(label) % kAllAlgos.size()];
+  if (!algo_applicable(a, d)) a = Algo::kGemm6;
+  return a;
+}
+
+}  // namespace vlacnn

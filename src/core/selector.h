@@ -1,0 +1,62 @@
+// Runtime algorithm selection — the paper's primary contribution for model
+// serving: pick the fastest convolution algorithm per layer given the layer's
+// dimensions and the hardware's (vector length, L2 size).
+//
+// Two selectors are provided:
+//  * HeuristicSelector — the rule-of-thumb baseline from the papers' analysis
+//    (Winograd for 3x3 stride-1, Direct for high-resolution/low-channel, GEMM
+//    for skinny matrices),
+//  * ForestSelector — the random-forest classifier of Paper II Section 4.3
+//    (12 features, depth-10 bagged CART trees, ~92.8% accuracy), trained from
+//    the co-design sweep.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algos/conv_args.h"
+#include "ml/random_forest.h"
+#include "sweep/sweep.h"
+#include "vpu/vpu_config.h"
+
+namespace vlacnn {
+
+class AlgorithmSelector {
+ public:
+  virtual ~AlgorithmSelector() = default;
+
+  /// Pick an algorithm for the layer; the result is always applicable.
+  virtual Algo select(const ConvLayerDesc& desc, std::uint32_t vlen_bits,
+                      std::uint64_t l2_bytes) const = 0;
+};
+
+/// Rule-based baseline distilled from the papers' per-layer findings.
+class HeuristicSelector final : public AlgorithmSelector {
+ public:
+  Algo select(const ConvLayerDesc& desc, std::uint32_t vlen_bits,
+              std::uint64_t l2_bytes) const override;
+};
+
+/// Random-forest selector. Train once per deployment (or load a pre-built
+/// forest); selection itself is microseconds.
+class ForestSelector final : public AlgorithmSelector {
+ public:
+  ForestSelector(RandomForest forest) : forest_(std::move(forest)) {}
+
+  /// Train on the co-design sweep of the given networks and hardware grid.
+  static ForestSelector train(SweepDriver& driver,
+                              const std::vector<const Network*>& nets,
+                              const std::vector<std::uint32_t>& vlens,
+                              const std::vector<std::uint64_t>& l2_sizes,
+                              const ForestParams& params = {});
+
+  Algo select(const ConvLayerDesc& desc, std::uint32_t vlen_bits,
+              std::uint64_t l2_bytes) const override;
+
+  const RandomForest& forest() const { return forest_; }
+
+ private:
+  RandomForest forest_;
+};
+
+}  // namespace vlacnn

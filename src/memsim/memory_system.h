@@ -1,0 +1,78 @@
+// Two-level memory hierarchy seen by the (scalar core + vector unit).
+//
+// Two attachment styles are modelled, matching the two micro-architectures in the
+// papers:
+//   * kIntegratedL1 (Paper II's RVV fork, ARM-SVE): vector accesses go through
+//     L1 -> L2 -> memory.
+//   * kDecoupledL2 (Paper I's RVV@gem5): the VPU hangs off the L2 with a tiny
+//     2 KB vector buffer in front of it; L1 is bypassed for vector traffic.
+//
+// The hierarchy is non-inclusive and tag-only; dirty evictions are propagated so
+// write-back traffic shows up in the memory-bandwidth accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/cache.h"
+
+namespace vlacnn {
+
+/// Where vector memory operations enter the hierarchy.
+enum class VpuAttach { kIntegratedL1, kDecoupledL2 };
+
+/// Full hierarchy parameters.
+struct MemConfig {
+  CacheConfig l1{64u << 10, 4, 64, 4};
+  CacheConfig l2{1u << 20, 8, 64, 20};
+  /// 2 KB buffer between a decoupled VPU and L2 (Paper I, Section III.A).
+  CacheConfig vbuf{2u << 10, 4, 64, 1};
+  std::uint32_t mem_latency_cycles = 200;  ///< DRAM round-trip at 2 GHz
+  double mem_bytes_per_cycle = 6.4;        ///< 12.8 GB/s at 2 GHz (Paper II)
+  VpuAttach attach = VpuAttach::kIntegratedL1;
+};
+
+/// Aggregate outcome of one (possibly multi-line) access.
+struct AccessResult {
+  std::uint32_t lines = 0;
+  std::uint32_t l1_misses = 0;  ///< misses at the first level probed (L1 or vbuf)
+  std::uint32_t l2_misses = 0;  ///< misses that went to memory
+  std::uint64_t mem_bytes = 0;  ///< bytes moved to/from DRAM (fills + writebacks)
+};
+
+/// The hierarchy itself. Probe-level statistics live in the member caches;
+/// scaled, per-experiment statistics are kept by the TimingModel.
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemConfig& config);
+
+  /// Access [addr, addr+bytes) as vector traffic (enters at the configured
+  /// attachment point).
+  AccessResult vector_access(std::uint64_t addr, std::uint64_t bytes, bool write);
+
+  /// Access as scalar-core traffic (always via L1).
+  AccessResult scalar_access(std::uint64_t addr, std::uint64_t bytes, bool write);
+
+  /// Touch a range for software prefetch: same path as a read but the caller's
+  /// timing model treats it as non-blocking.
+  AccessResult prefetch(std::uint64_t addr, std::uint64_t bytes);
+
+  void reset();
+
+  const MemConfig& config() const { return config_; }
+  const Cache& l1() const { return l1_; }
+  const Cache& l2() const { return l2_; }
+  const Cache& vbuf() const { return vbuf_; }
+  std::uint64_t mem_bytes_total() const { return mem_bytes_total_; }
+
+ private:
+  AccessResult access_via(Cache* first, std::uint64_t addr, std::uint64_t bytes,
+                          bool write);
+
+  MemConfig config_;
+  Cache l1_;
+  Cache l2_;
+  Cache vbuf_;
+  std::uint64_t mem_bytes_total_ = 0;
+};
+
+}  // namespace vlacnn

@@ -1,0 +1,87 @@
+#include "ml/crossval.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace vlacnn {
+
+SplitIndices train_test_split(std::size_t n, double test_fraction,
+                              std::uint64_t seed) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("split: fraction must be in (0,1)");
+  }
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  Rng rng(seed);
+  rng.shuffle(idx);
+  const std::size_t n_test = std::max<std::size_t>(
+      1, static_cast<std::size_t>(test_fraction * static_cast<double>(n)));
+  SplitIndices out;
+  out.test.assign(idx.begin(), idx.begin() + n_test);
+  out.train.assign(idx.begin() + n_test, idx.end());
+  return out;
+}
+
+std::vector<int> heldout_predictions(const Dataset& data,
+                                     const ForestParams& params, int folds,
+                                     std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument("cv: need >= 2 folds");
+  const std::size_t n = data.size();
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  Rng rng(seed);
+  rng.shuffle(idx);
+
+  std::vector<int> predictions(n, -1);
+  for (int f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train, test;
+    for (std::size_t i = 0; i < n; ++i) {
+      (static_cast<int>(i % folds) == f ? test : train).push_back(idx[i]);
+    }
+    ForestParams p = params;
+    p.seed = params.seed + static_cast<std::uint64_t>(f) * 0x9e37;
+    RandomForest forest;
+    forest.fit(data, train, p);
+    for (std::size_t i : test) predictions[i] = forest.predict(data.x[i]);
+  }
+  return predictions;
+}
+
+CrossValResult cross_validate(const Dataset& data, const ForestParams& params,
+                              int folds, std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument("cv: need >= 2 folds");
+  const std::size_t n = data.size();
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  Rng rng(seed);
+  rng.shuffle(idx);
+
+  CrossValResult out;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train, test;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i % folds) == f) {
+        test.push_back(idx[i]);
+      } else {
+        train.push_back(idx[i]);
+      }
+    }
+    ForestParams p = params;
+    p.seed = params.seed + static_cast<std::uint64_t>(f) * 0x9e37;
+    RandomForest forest;
+    forest.fit(data, train, p);
+    out.fold_accuracy.push_back(forest.accuracy(data, test));
+  }
+  out.min_accuracy = *std::min_element(out.fold_accuracy.begin(),
+                                       out.fold_accuracy.end());
+  out.max_accuracy = *std::max_element(out.fold_accuracy.begin(),
+                                       out.fold_accuracy.end());
+  double sum = 0;
+  for (double a : out.fold_accuracy) sum += a;
+  out.mean_accuracy = sum / static_cast<double>(folds);
+  return out;
+}
+
+}  // namespace vlacnn

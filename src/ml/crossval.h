@@ -1,0 +1,40 @@
+// 5-fold cross-validation with shuffling (Paper II Section 4.3 protocol) and
+// the train/test split helper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/random_forest.h"
+
+namespace vlacnn {
+
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Shuffled train/test split (test_fraction of samples held out).
+SplitIndices train_test_split(std::size_t n, double test_fraction,
+                              std::uint64_t seed);
+
+struct CrossValResult {
+  std::vector<double> fold_accuracy;
+  double mean_accuracy = 0;
+  double min_accuracy = 0;
+  double max_accuracy = 0;
+};
+
+/// k-fold CV with shuffling: each fold trains a fresh forest on the remaining
+/// folds and scores the held-out one (held-out points are unseen, as in the
+/// paper).
+CrossValResult cross_validate(const Dataset& data, const ForestParams& params,
+                              int folds, std::uint64_t seed);
+
+/// k-fold held-out predictions: every sample is predicted by the fold model
+/// that did NOT train on it (the "Predicted Optimal" protocol of Figs 9/10).
+std::vector<int> heldout_predictions(const Dataset& data,
+                                     const ForestParams& params, int folds,
+                                     std::uint64_t seed);
+
+}  // namespace vlacnn

@@ -1,0 +1,57 @@
+#include "ml/dataset.h"
+
+#include <limits>
+
+namespace vlacnn {
+
+std::vector<float> selection_features(std::uint32_t vlen_bits,
+                                      std::uint64_t l2_bytes,
+                                      const ConvLayerDesc& d) {
+  return {static_cast<float>(vlen_bits),
+          static_cast<float>(l2_bytes >> 20),  // MB
+          static_cast<float>(d.ic),
+          static_cast<float>(d.ih),
+          static_cast<float>(d.iw),
+          static_cast<float>(d.stride),
+          static_cast<float>(d.pad),
+          static_cast<float>(d.oc),
+          static_cast<float>(d.oh()),
+          static_cast<float>(d.ow()),
+          static_cast<float>(d.kh),
+          static_cast<float>(d.kw)};
+}
+
+Dataset build_selection_dataset(SweepDriver& driver,
+                                const std::vector<const Network*>& nets,
+                                const std::vector<std::uint32_t>& vlens,
+                                const std::vector<std::uint64_t>& l2_sizes) {
+  Dataset ds;
+  ds.feature_names = {"vlen", "l2_mb", "ic", "ih", "iw", "stride",
+                      "pad",  "oc",    "oh", "ow", "kh", "kw"};
+  for (const Network* net : nets) {
+    const auto descs = net->conv_descs();
+    for (std::uint32_t vlen : vlens) {
+      for (std::uint64_t l2 : l2_sizes) {
+        for (std::size_t i = 0; i < descs.size(); ++i) {
+          double best = std::numeric_limits<double>::infinity();
+          int label = -1;
+          for (std::size_t a = 0; a < kAllAlgos.size(); ++a) {
+            if (!algo_applicable(kAllAlgos[a], descs[i])) continue;
+            const SweepRow r = driver.get(net->name(), static_cast<int>(i),
+                                          descs[i], kAllAlgos[a], vlen, l2);
+            if (r.cycles < best) {
+              best = r.cycles;
+              label = static_cast<int>(a);
+            }
+          }
+          ds.x.push_back(selection_features(vlen, l2, descs[i]));
+          ds.y.push_back(label);
+          ds.meta.push_back({net->name(), static_cast<int>(i), vlen, l2});
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace vlacnn

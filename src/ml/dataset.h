@@ -1,0 +1,48 @@
+// Training data for the algorithm-selection model (Paper II Section 4.3):
+// 12 features — 2 hardware (vector length, L2 size) + 10 convolution dimensions
+// (IC, IH, IW, stride, pad, OC, OH, OW, KH, KW) — labelled with the
+// fastest applicable algorithm from the co-design sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sweep/sweep.h"
+
+namespace vlacnn {
+
+/// Provenance of one sample (which network/layer/hardware point it came from),
+/// used to map held-out predictions back onto figures.
+struct SampleMeta {
+  std::string net;
+  int layer = 0;
+  std::uint32_t vlen_bits = 0;
+  std::uint64_t l2_bytes = 0;
+};
+
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;  ///< label: index into kAllAlgos
+  std::vector<SampleMeta> meta;
+
+  std::size_t size() const { return x.size(); }
+  std::size_t num_features() const { return feature_names.size(); }
+  int num_classes() const { return static_cast<int>(kAllAlgos.size()); }
+};
+
+/// Feature vector for one (hardware, layer) point, in dataset order.
+std::vector<float> selection_features(std::uint32_t vlen_bits,
+                                      std::uint64_t l2_bytes,
+                                      const ConvLayerDesc& desc);
+
+/// Build the 28-layers x 16-configs dataset of the paper (or any other
+/// network/grid combination): one sample per (conv layer, vlen, l2), labelled
+/// with the argmin algorithm.
+Dataset build_selection_dataset(SweepDriver& driver,
+                                const std::vector<const Network*>& nets,
+                                const std::vector<std::uint32_t>& vlens,
+                                const std::vector<std::uint64_t>& l2_sizes);
+
+}  // namespace vlacnn

@@ -1,0 +1,160 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vlacnn {
+
+namespace {
+
+double gini(const std::vector<int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (int c : counts) {
+    const double p = static_cast<double>(c) / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+int majority(const std::vector<int>& counts) {
+  int best = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data, const std::vector<std::size_t>& idx,
+                       const TreeParams& params, Rng& rng) {
+  nodes_.clear();
+  impurity_decrease_.assign(data.num_features(), 0.0);
+  std::vector<std::size_t> work = idx;
+  build(data, work, 0, params, rng);
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& idx,
+                        int depth, const TreeParams& params, Rng& rng) {
+  const int n_classes = data.num_classes();
+  std::vector<int> counts(n_classes, 0);
+  for (std::size_t i : idx) ++counts[data.y[i]];
+  const int total = static_cast<int>(idx.size());
+  const double node_gini = gini(counts, total);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  nodes_[node_id].label = majority(counts);
+
+  const bool pure = node_gini <= 1e-12;
+  if (pure || depth >= params.max_depth ||
+      total < params.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features: all, or a random subset.
+  const int nf = static_cast<int>(data.num_features());
+  std::vector<int> features(nf);
+  for (int f = 0; f < nf; ++f) features[f] = f;
+  int n_try = params.feature_subset > 0 ? std::min(params.feature_subset, nf)
+                                        : nf;
+  if (n_try < nf) {
+    // Partial Fisher-Yates: first n_try entries become the random subset.
+    for (int i = 0; i < n_try; ++i) {
+      const int j = i + static_cast<int>(rng.next_below(nf - i));
+      std::swap(features[i], features[j]);
+    }
+    features.resize(n_try);
+  }
+
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  float best_threshold = 0;
+
+  std::vector<std::pair<float, int>> vals(idx.size());
+  std::vector<int> left_counts(n_classes);
+  for (int f : features) {
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      vals[i] = {data.x[idx[i]][f], data.y[idx[i]]};
+    }
+    std::sort(vals.begin(), vals.end());
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    int n_left = 0;
+    for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
+      ++left_counts[vals[i].second];
+      ++n_left;
+      if (vals[i].first == vals[i + 1].first) continue;
+      const int n_right = total - n_left;
+      if (n_left < params.min_samples_leaf || n_right < params.min_samples_leaf)
+        continue;
+      // Gini gain of splitting here.
+      double g_left = 1.0, g_right = 1.0;
+      for (int c = 0; c < n_classes; ++c) {
+        const double pl = static_cast<double>(left_counts[c]) / n_left;
+        const double pr =
+            static_cast<double>(counts[c] - left_counts[c]) / n_right;
+        g_left -= pl * pl;
+        g_right -= pr * pr;
+      }
+      const double gain =
+          node_gini - (n_left * g_left + n_right * g_right) / total;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5f * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // no useful split
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : idx) {
+    (data.x[i][best_feature] <= best_threshold ? left_idx : right_idx)
+        .push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  impurity_decrease_[best_feature] += best_gain * total;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  idx.clear();
+  idx.shrink_to_fit();
+  const int left = build(data, left_idx, depth + 1, params, rng);
+  nodes_[node_id].left = left;
+  const int right = build(data, right_idx, depth + 1, params, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+int DecisionTree::predict(const std::vector<float>& x) const {
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = x[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].label;
+}
+
+int DecisionTree::depth() const {
+  // Depth via iterative traversal (node 0 is the root; children were appended
+  // after their parent, but not contiguously, so walk explicitly).
+  if (nodes_.empty()) return 0;
+  int max_depth = 0;
+  std::vector<std::pair<int, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    if (nodes_[node].feature >= 0) {
+      stack.push_back({nodes_[node].left, depth + 1});
+      stack.push_back({nodes_[node].right, depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,56 @@
+// CART classification tree (Gini impurity, axis-aligned threshold splits) —
+// the base learner of the random forest. Supports per-node random feature
+// subsampling, which is what decorrelates forest members.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace vlacnn {
+
+struct TreeParams {
+  int max_depth = 10;          ///< Paper II's tuned depth
+  int min_samples_leaf = 1;
+  int min_samples_split = 2;
+  /// Features considered per split; 0 = all (single tree), forests pass
+  /// ceil(sqrt(num_features)).
+  int feature_subset = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fit on the samples selected by `idx` (with multiplicity — bootstrap
+  /// samples repeat indices).
+  void fit(const Dataset& data, const std::vector<std::size_t>& idx,
+           const TreeParams& params, Rng& rng);
+
+  int predict(const std::vector<float>& x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const;
+
+  /// Total Gini-impurity decrease attributed to each feature (unnormalised).
+  const std::vector<double>& impurity_decrease() const {
+    return impurity_decrease_;
+  }
+
+ private:
+  struct Node {
+    int feature = -1;    ///< -1 marks a leaf
+    float threshold = 0;
+    int left = -1;
+    int right = -1;
+    int label = 0;
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& idx, int depth,
+            const TreeParams& params, Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> impurity_decrease_;
+};
+
+}  // namespace vlacnn

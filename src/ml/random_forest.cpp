@@ -1,0 +1,78 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlacnn {
+
+void RandomForest::fit(const Dataset& data,
+                       const std::vector<std::size_t>& train_idx,
+                       const ForestParams& params) {
+  if (train_idx.empty()) throw std::invalid_argument("forest: empty training set");
+  trees_.clear();
+  num_features_ = data.num_features();
+  TreeParams tp = params.tree;
+  if (tp.feature_subset == 0) {
+    tp.feature_subset = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(data.num_features()))));
+  }
+  Rng rng(params.seed);
+  const std::size_t n = train_idx.size();
+  for (int t = 0; t < params.n_trees; ++t) {
+    std::vector<std::size_t> sample;
+    sample.reserve(n);
+    if (params.bootstrap) {
+      for (std::size_t i = 0; i < n; ++i) {
+        sample.push_back(train_idx[rng.next_below(n)]);
+      }
+    } else {
+      sample = train_idx;
+    }
+    DecisionTree tree;
+    tree.fit(data, sample, tp, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::predict(const std::vector<float>& x) const {
+  if (trees_.empty()) throw std::logic_error("forest: not fitted");
+  std::vector<int> votes(16, 0);
+  for (const DecisionTree& t : trees_) {
+    const int label = t.predict(x);
+    if (label >= static_cast<int>(votes.size())) {
+      votes.resize(label + 1, 0);
+    }
+    ++votes[label];
+  }
+  int best = 0;
+  for (std::size_t i = 1; i < votes.size(); ++i) {
+    if (votes[i] > votes[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+double RandomForest::accuracy(const Dataset& data,
+                              const std::vector<std::size_t>& idx) const {
+  if (idx.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i : idx) {
+    if (predict(data.x[i]) == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(idx.size());
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  std::vector<double> total(num_features_, 0.0);
+  for (const DecisionTree& t : trees_) {
+    const auto& dec = t.impurity_decrease();
+    for (std::size_t f = 0; f < num_features_; ++f) total[f] += dec[f];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace vlacnn

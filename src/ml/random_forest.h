@@ -1,0 +1,40 @@
+// Bagged random forest over CART trees — the algorithm-selection model of
+// Paper II (max depth 10, bootstrap, sqrt-feature subsampling, majority vote).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace vlacnn {
+
+struct ForestParams {
+  int n_trees = 100;
+  TreeParams tree{};       // tree.feature_subset filled from sqrt rule if 0
+  bool bootstrap = true;
+  std::uint64_t seed = 0x5eed;
+};
+
+class RandomForest {
+ public:
+  void fit(const Dataset& data, const std::vector<std::size_t>& train_idx,
+           const ForestParams& params);
+
+  int predict(const std::vector<float>& x) const;
+
+  /// Fraction of correctly predicted samples among `idx`.
+  double accuracy(const Dataset& data,
+                  const std::vector<std::size_t>& idx) const;
+
+  /// Mean normalised impurity decrease per feature across trees.
+  std::vector<double> feature_importances() const;
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace vlacnn

@@ -1,0 +1,28 @@
+#include "net/layer.h"
+
+namespace vlacnn {
+
+const char* to_string(LayerKind k) {
+  switch (k) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kMaxPool: return "maxpool";
+    case LayerKind::kAvgPool: return "avgpool";
+    case LayerKind::kShortcut: return "shortcut";
+    case LayerKind::kUpsample: return "upsample";
+    case LayerKind::kRoute: return "route";
+    case LayerKind::kConnected: return "connected";
+    case LayerKind::kSoftmax: return "softmax";
+    case LayerKind::kYolo: return "yolo";
+  }
+  return "?";
+}
+
+std::string Layer::describe() const {
+  std::string s = to_string(kind);
+  if (kind == LayerKind::kConv) s += " " + conv.to_string();
+  s += " -> " + std::to_string(out_shape.c) + "x" +
+       std::to_string(out_shape.h) + "x" + std::to_string(out_shape.w);
+  return s;
+}
+
+}  // namespace vlacnn

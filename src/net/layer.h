@@ -1,0 +1,65 @@
+// Network layer substrate (the Darknet substitute): the five layer types
+// YOLOv3 uses (convolutional, shortcut, upsample, route, yolo-head — the last
+// modelled as pass-through) plus VGG-16's maxpool / fully-connected / softmax.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/conv_desc.h"
+
+namespace vlacnn {
+
+enum class LayerKind {
+  kConv,
+  kMaxPool,
+  kAvgPool,   // global average pool
+  kShortcut,  // residual add with an earlier layer's output
+  kUpsample,
+  kRoute,     // channel concatenation of earlier layers
+  kConnected, // fully connected
+  kSoftmax,
+  kYolo,      // detection head: pass-through for performance purposes
+};
+
+enum class Activation { kLinear, kRelu, kLeaky };
+
+struct Shape3 {
+  int c = 0, h = 0, w = 0;
+  std::uint64_t elems() const {
+    return static_cast<std::uint64_t>(c) * h * w;
+  }
+};
+
+struct Layer {
+  LayerKind kind = LayerKind::kConv;
+  Activation activation = Activation::kLinear;
+
+  // kConv
+  ConvLayerDesc conv{};
+  bool batch_normalize = false;
+
+  // kMaxPool (Darknet semantics: out = (h + pad - size)/stride + 1, padding
+  // reads as -inf)
+  int pool_size = 2;
+  int pool_stride = 2;
+  int pool_pad = 0;
+
+  // kShortcut / kRoute: indices of source layers (absolute, into the network).
+  std::vector<int> from;
+
+  // kUpsample
+  int upsample_factor = 2;
+
+  // kConnected
+  int out_features = 0;
+
+  Shape3 in_shape{};
+  Shape3 out_shape{};
+
+  std::string describe() const;
+};
+
+const char* to_string(LayerKind k);
+
+}  // namespace vlacnn

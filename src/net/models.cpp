@@ -1,0 +1,159 @@
+#include "net/models.h"
+
+#include <stdexcept>
+
+namespace vlacnn {
+
+Network make_vgg16(int size) {
+  if (size % 32 != 0) {
+    throw std::invalid_argument("vgg16: input size must be a multiple of 32");
+  }
+  Network net("vgg16", {3, size, size});
+  auto block = [&](int filters, int convs) {
+    for (int i = 0; i < convs; ++i) {
+      net.conv(filters, 3, 1, 1, Activation::kRelu, false);
+    }
+    net.maxpool(2, 2);
+  };
+  block(64, 2);    // conv 1-2
+  block(128, 2);   // conv 3-4
+  block(256, 3);   // conv 5-7
+  block(512, 3);   // conv 8-10
+  block(512, 3);   // conv 11-13
+  net.connected(4096).connected(4096).connected(1000, Activation::kLinear);
+  net.softmax();
+  return net;
+}
+
+Network make_yolov3_tiny(int size) {
+  if (size % 32 != 0) {
+    throw std::invalid_argument("yolov3-tiny: input size must be x32");
+  }
+  Network net("yolov3-tiny", {3, size, size});
+  net.conv(16, 3, 1, 1);      // 0
+  net.maxpool(2, 2);          // 1
+  net.conv(32, 3, 1, 1);      // 2
+  net.maxpool(2, 2);          // 3
+  net.conv(64, 3, 1, 1);      // 4
+  net.maxpool(2, 2);          // 5
+  net.conv(128, 3, 1, 1);     // 6
+  net.maxpool(2, 2);          // 7
+  net.conv(256, 3, 1, 1);     // 8
+  net.maxpool(2, 2);          // 9
+  net.conv(512, 3, 1, 1);     // 10
+  net.maxpool(2, 1, 1);       // 11: stride-1 'same' pool (Darknet pad)
+  net.conv(1024, 3, 1, 1);    // 12
+  net.conv(256, 1, 1, 0);     // 13
+  net.conv(512, 3, 1, 1);     // 14
+  net.conv(255, 1, 1, 0, Activation::kLinear, false);  // 15
+  net.yolo();                 // 16
+  net.route({13});            // 17
+  net.conv(128, 1, 1, 0);     // 18
+  net.upsample();             // 19
+  net.route({-1, 8});         // 20
+  net.conv(256, 3, 1, 1);     // 21
+  net.conv(255, 1, 1, 0, Activation::kLinear, false);  // 22
+  net.yolo();                 // 23
+  return net;
+}
+
+namespace {
+
+/// Darknet residual block: 1x1 squeeze, 3x3 expand, shortcut to the input.
+void residual(Network& net, int squeeze, int expand) {
+  net.conv(squeeze, 1, 1, 0);
+  net.conv(expand, 3, 1, 1);
+  net.shortcut(-3);
+}
+
+Network build_yolov3_full(int size) {
+  Network net("yolov3", {3, size, size});
+  // --- Darknet-53 backbone (layers 0-74) ---
+  net.conv(32, 3, 1, 1);               // 0
+  net.conv(64, 3, 2, 1);               // 1
+  residual(net, 32, 64);               // 2-4
+  net.conv(128, 3, 2, 1);              // 5
+  for (int i = 0; i < 2; ++i) residual(net, 64, 128);    // 6-11
+  net.conv(256, 3, 2, 1);              // 12
+  for (int i = 0; i < 8; ++i) residual(net, 128, 256);   // 13-36
+  net.conv(512, 3, 2, 1);              // 37
+  for (int i = 0; i < 8; ++i) residual(net, 256, 512);   // 38-61
+  net.conv(1024, 3, 2, 1);             // 62
+  for (int i = 0; i < 4; ++i) residual(net, 512, 1024);  // 63-74
+  // --- Detection head 1 (stride 32) ---
+  net.conv(512, 1, 1, 0);              // 75
+  net.conv(1024, 3, 1, 1);             // 76
+  net.conv(512, 1, 1, 0);              // 77
+  net.conv(1024, 3, 1, 1);             // 78
+  net.conv(512, 1, 1, 0);              // 79
+  net.conv(1024, 3, 1, 1);             // 80
+  net.conv(255, 1, 1, 0, Activation::kLinear, false);  // 81
+  net.yolo();                          // 82
+  // --- Detection head 2 (stride 16) ---
+  net.route({79});                     // 83
+  net.conv(256, 1, 1, 0);              // 84
+  net.upsample();                      // 85
+  net.route({-1, 61});                 // 86
+  net.conv(256, 1, 1, 0);              // 87
+  net.conv(512, 3, 1, 1);              // 88
+  net.conv(256, 1, 1, 0);              // 89
+  net.conv(512, 3, 1, 1);              // 90
+  net.conv(256, 1, 1, 0);              // 91
+  net.conv(512, 3, 1, 1);              // 92
+  net.conv(255, 1, 1, 0, Activation::kLinear, false);  // 93
+  net.yolo();                          // 94
+  // --- Detection head 3 (stride 8) ---
+  net.route({91});                     // 95
+  net.conv(128, 1, 1, 0);              // 96
+  net.upsample();                      // 97
+  net.route({-1, 36});                 // 98
+  net.conv(128, 1, 1, 0);              // 99
+  net.conv(256, 3, 1, 1);              // 100
+  net.conv(128, 1, 1, 0);              // 101
+  net.conv(256, 3, 1, 1);              // 102
+  net.conv(128, 1, 1, 0);              // 103
+  net.conv(256, 3, 1, 1);              // 104
+  net.conv(255, 1, 1, 0, Activation::kLinear, false);  // 105
+  net.yolo();                          // 106
+  return net;
+}
+
+}  // namespace
+
+Network make_yolov3(int layers, int size) {
+  if (size % 32 != 0) {
+    throw std::invalid_argument("yolov3: input size must be a multiple of 32");
+  }
+  Network full = build_yolov3_full(size);
+  if (layers <= 0 || layers >= static_cast<int>(full.layers().size())) {
+    return full;
+  }
+  // Rebuild the requested prefix (the builder validates shapes as it goes).
+  Network net("yolov3-" + std::to_string(layers), {3, size, size});
+  for (int i = 0; i < layers; ++i) {
+    const Layer& l = full.layers()[i];
+    switch (l.kind) {
+      case LayerKind::kConv:
+        net.conv(l.conv.oc, l.conv.kh, l.conv.stride, l.conv.pad, l.activation,
+                 l.batch_normalize);
+        break;
+      case LayerKind::kShortcut:
+        net.shortcut(l.from[0] - i);
+        break;
+      case LayerKind::kUpsample:
+        net.upsample(l.upsample_factor);
+        break;
+      case LayerKind::kRoute:
+        net.route(l.from);
+        break;
+      case LayerKind::kYolo:
+        net.yolo();
+        break;
+      default:
+        throw std::logic_error("yolov3 prefix: unexpected layer kind");
+    }
+  }
+  return net;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,168 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+namespace vlacnn {
+
+Network::Network(std::string name, Shape3 input)
+    : name_(std::move(name)), input_(input) {
+  if (input.c <= 0 || input.h <= 0 || input.w <= 0) {
+    throw std::invalid_argument("network: bad input shape");
+  }
+}
+
+Shape3 Network::current() const {
+  return layers_.empty() ? input_ : layers_.back().out_shape;
+}
+
+int Network::resolve(int ref) const {
+  const int idx = ref < 0 ? static_cast<int>(layers_.size()) + ref : ref;
+  if (idx < 0 || idx >= static_cast<int>(layers_.size())) {
+    throw std::invalid_argument("network: layer reference out of range");
+  }
+  return idx;
+}
+
+std::vector<int> Network::conv_layers() const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(layers_.size()); ++i) {
+    if (layers_[i].kind == LayerKind::kConv) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<ConvLayerDesc> Network::conv_descs() const {
+  std::vector<ConvLayerDesc> out;
+  for (const Layer& l : layers_) {
+    if (l.kind == LayerKind::kConv) out.push_back(l.conv);
+  }
+  return out;
+}
+
+Network& Network::conv(int filters, int ksize, int stride, int pad,
+                       Activation act, bool bn) {
+  const Shape3 in = current();
+  Layer l;
+  l.kind = LayerKind::kConv;
+  l.activation = act;
+  l.batch_normalize = bn;
+  l.conv = ConvLayerDesc{in.c, in.h, in.w, filters, ksize, ksize, stride, pad};
+  l.in_shape = in;
+  l.out_shape = {filters, l.conv.oh(), l.conv.ow()};
+  if (l.out_shape.h <= 0 || l.out_shape.w <= 0) {
+    throw std::invalid_argument("network: conv output collapses");
+  }
+  layers_.push_back(l);
+  return *this;
+}
+
+Network& Network::maxpool(int size, int stride, int pad) {
+  const Shape3 in = current();
+  Layer l;
+  l.kind = LayerKind::kMaxPool;
+  l.pool_size = size;
+  l.pool_stride = stride;
+  l.pool_pad = pad;
+  l.in_shape = in;
+  l.out_shape = {in.c, (in.h + pad - size) / stride + 1,
+                 (in.w + pad - size) / stride + 1};
+  if (l.out_shape.h <= 0 || l.out_shape.w <= 0) {
+    throw std::invalid_argument("network: maxpool output collapses");
+  }
+  layers_.push_back(l);
+  return *this;
+}
+
+Network& Network::avgpool() {
+  const Shape3 in = current();
+  Layer l;
+  l.kind = LayerKind::kAvgPool;
+  l.in_shape = in;
+  l.out_shape = {in.c, 1, 1};
+  layers_.push_back(l);
+  return *this;
+}
+
+Network& Network::shortcut(int offset, Activation act) {
+  const Shape3 in = current();
+  Layer l;
+  l.kind = LayerKind::kShortcut;
+  l.activation = act;
+  l.from = {resolve(offset)};
+  const Shape3 other = layers_[l.from[0]].out_shape;
+  if (other.c != in.c || other.h != in.h || other.w != in.w) {
+    throw std::invalid_argument("network: shortcut shape mismatch");
+  }
+  l.in_shape = in;
+  l.out_shape = in;
+  layers_.push_back(l);
+  return *this;
+}
+
+Network& Network::upsample(int factor) {
+  const Shape3 in = current();
+  Layer l;
+  l.kind = LayerKind::kUpsample;
+  l.upsample_factor = factor;
+  l.in_shape = in;
+  l.out_shape = {in.c, in.h * factor, in.w * factor};
+  layers_.push_back(l);
+  return *this;
+}
+
+Network& Network::route(const std::vector<int>& sources) {
+  if (sources.empty()) throw std::invalid_argument("network: empty route");
+  Layer l;
+  l.kind = LayerKind::kRoute;
+  int c = 0;
+  Shape3 ref{};
+  for (int s : sources) {
+    const int idx = resolve(s);
+    l.from.push_back(idx);
+    const Shape3 sh = layers_[idx].out_shape;
+    if (c == 0) {
+      ref = sh;
+    } else if (sh.h != ref.h || sh.w != ref.w) {
+      throw std::invalid_argument("network: route spatial mismatch");
+    }
+    c += sh.c;
+  }
+  l.in_shape = ref;
+  l.out_shape = {c, ref.h, ref.w};
+  layers_.push_back(l);
+  return *this;
+}
+
+Network& Network::connected(int out_features, Activation act) {
+  const Shape3 in = current();
+  Layer l;
+  l.kind = LayerKind::kConnected;
+  l.activation = act;
+  l.out_features = out_features;
+  l.in_shape = in;
+  l.out_shape = {out_features, 1, 1};
+  layers_.push_back(l);
+  return *this;
+}
+
+Network& Network::softmax() {
+  const Shape3 in = current();
+  Layer l;
+  l.kind = LayerKind::kSoftmax;
+  l.in_shape = in;
+  l.out_shape = in;
+  layers_.push_back(l);
+  return *this;
+}
+
+Network& Network::yolo() {
+  const Shape3 in = current();
+  Layer l;
+  l.kind = LayerKind::kYolo;
+  l.in_shape = in;
+  l.out_shape = in;
+  layers_.push_back(l);
+  return *this;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,51 @@
+// Network container and builder. Shapes are propagated at construction and
+// validated (a route/shortcut with mismatched shapes throws), so the model
+// definitions below are structurally checked against the paper's Table 1 by the
+// test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/layer.h"
+
+namespace vlacnn {
+
+class Network {
+ public:
+  Network(std::string name, Shape3 input);
+
+  const std::string& name() const { return name_; }
+  Shape3 input() const { return input_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  /// Indices of convolutional layers, in order.
+  std::vector<int> conv_layers() const;
+  /// Conv descriptors only (the per-layer workloads of the figures).
+  std::vector<ConvLayerDesc> conv_descs() const;
+
+  // Builder interface: each call appends a layer and infers its output shape.
+  Network& conv(int filters, int ksize, int stride, int pad,
+                Activation act = Activation::kLeaky, bool bn = true);
+  Network& maxpool(int size, int stride, int pad = 0);
+  Network& avgpool();
+  /// Residual add with the layer `offset` entries back (Darknet "from=-3").
+  Network& shortcut(int offset, Activation act = Activation::kLinear);
+  Network& upsample(int factor = 2);
+  /// Concatenate outputs of layers given as relative offsets (negative) or
+  /// absolute indices (non-negative).
+  Network& route(const std::vector<int>& sources);
+  Network& connected(int out_features, Activation act = Activation::kRelu);
+  Network& softmax();
+  Network& yolo();
+
+ private:
+  Shape3 current() const;
+  int resolve(int ref) const;
+
+  std::string name_;
+  Shape3 input_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace vlacnn

@@ -1,0 +1,246 @@
+#include "net/runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace vlacnn {
+
+NetWeights make_random_weights(const Network& net, std::uint64_t seed) {
+  Rng rng(seed);
+  NetWeights w;
+  for (const Layer& l : net.layers()) {
+    if (l.kind == LayerKind::kConv) {
+      const std::size_t fan_in =
+          static_cast<std::size_t>(l.conv.ic) * l.conv.kh * l.conv.kw;
+      const float scale = std::sqrt(2.0f / static_cast<float>(fan_in));
+      std::vector<float> weights(l.conv.weight_elems());
+      for (auto& v : weights) v = rng.normal() * scale;
+      std::vector<float> bias(l.conv.oc);
+      for (auto& v : bias) v = rng.uniform(-0.1f, 0.1f);
+      w.conv_weights.push_back(std::move(weights));
+      w.conv_bias.push_back(std::move(bias));
+    } else if (l.kind == LayerKind::kConnected) {
+      const std::size_t fan_in = l.in_shape.elems();
+      const float scale = std::sqrt(2.0f / static_cast<float>(fan_in));
+      std::vector<float> weights(static_cast<std::size_t>(l.out_features) *
+                                 fan_in);
+      for (auto& v : weights) v = rng.normal() * scale;
+      std::vector<float> bias(l.out_features);
+      for (auto& v : bias) v = rng.uniform(-0.1f, 0.1f);
+      w.fc_weights.push_back(std::move(weights));
+      w.fc_bias.push_back(std::move(bias));
+    }
+  }
+  return w;
+}
+
+std::vector<Algo> uniform_plan(const Network& net, Algo fixed) {
+  std::vector<Algo> plan;
+  for (const ConvLayerDesc& d : net.conv_descs()) {
+    plan.push_back(algo_applicable(fixed, d) ? fixed : Algo::kGemm6);
+  }
+  return plan;
+}
+
+namespace {
+
+void apply_activation(Tensor& t, Activation act) {
+  if (act == Activation::kLinear) return;
+  float* p = t.data();
+  const std::size_t n = t.size();
+  if (act == Activation::kRelu) {
+    for (std::size_t i = 0; i < n; ++i) p[i] = std::max(p[i], 0.0f);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p[i] < 0.0f) p[i] *= 0.1f;
+    }
+  }
+}
+
+Tensor run_maxpool(const Layer& l, const Tensor& in) {
+  Tensor out(l.out_shape.c, l.out_shape.h, l.out_shape.w);
+  for (int c = 0; c < out.c(); ++c) {
+    for (int y = 0; y < out.h(); ++y) {
+      for (int x = 0; x < out.w(); ++x) {
+        float best = -1e30f;
+        for (int dy = 0; dy < l.pool_size; ++dy) {
+          for (int dx = 0; dx < l.pool_size; ++dx) {
+            const int iy = y * l.pool_stride + dy;
+            const int ix = x * l.pool_stride + dx;
+            if (iy < in.h() && ix < in.w()) {
+              best = std::max(best, in.at(c, iy, ix));
+            }
+          }
+        }
+        out.at(c, y, x) = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor run_avgpool(const Layer& l, const Tensor& in) {
+  Tensor out(l.out_shape.c, 1, 1);
+  const float inv = 1.0f / static_cast<float>(in.h() * in.w());
+  for (int c = 0; c < in.c(); ++c) {
+    float s = 0.0f;
+    for (int y = 0; y < in.h(); ++y) {
+      for (int x = 0; x < in.w(); ++x) s += in.at(c, y, x);
+    }
+    out.at(c, 0, 0) = s * inv;
+  }
+  return out;
+}
+
+Tensor run_upsample(const Layer& l, const Tensor& in) {
+  Tensor out(l.out_shape.c, l.out_shape.h, l.out_shape.w);
+  const int f = l.upsample_factor;
+  for (int c = 0; c < out.c(); ++c) {
+    for (int y = 0; y < out.h(); ++y) {
+      for (int x = 0; x < out.w(); ++x) {
+        out.at(c, y, x) = in.at(c, y / f, x / f);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor run_connected(const Layer& l, const Tensor& in,
+                     const std::vector<float>& w, const std::vector<float>& b) {
+  Tensor out(l.out_features, 1, 1);
+  const std::size_t n = in.size();
+  const float* x = in.data();
+  for (int o = 0; o < l.out_features; ++o) {
+    double acc = b[o];
+    const float* row = w.data() + static_cast<std::size_t>(o) * n;
+    for (std::size_t i = 0; i < n; ++i) acc += static_cast<double>(row[i]) * x[i];
+    out.at(o, 0, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+void run_softmax(Tensor& t) {
+  float mx = -1e30f;
+  for (std::size_t i = 0; i < t.size(); ++i) mx = std::max(mx, t.data()[i]);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = std::exp(t.data()[i] - mx);
+    sum += t.data()[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] *= inv;
+}
+
+}  // namespace
+
+Tensor run_inference(const Network& net, const NetWeights& weights,
+                     const Tensor& input, const std::vector<Algo>& plan,
+                     const VpuConfig& vpu) {
+  if (input.c() != net.input().c || input.h() != net.input().h ||
+      input.w() != net.input().w) {
+    throw std::invalid_argument("run_inference: input shape mismatch");
+  }
+  if (plan.size() != net.conv_descs().size()) {
+    throw std::invalid_argument("run_inference: plan size mismatch");
+  }
+  std::vector<Tensor> outputs;
+  outputs.reserve(net.layers().size());
+  Tensor current = input.to_layout(Layout::kNCHW);
+  std::size_t conv_i = 0;
+  std::size_t fc_i = 0;
+
+  for (const Layer& l : net.layers()) {
+    Tensor out;
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        const Algo a = plan[conv_i];
+        out = conv_functional(a, l.conv, current, weights.conv_weights[conv_i],
+                              vpu);
+        // Bias + activation epilogue (batchnorm folded into weights).
+        const std::vector<float>& bias = weights.conv_bias[conv_i];
+        for (int c = 0; c < out.c(); ++c) {
+          for (int y = 0; y < out.h(); ++y) {
+            for (int x = 0; x < out.w(); ++x) out.at(c, y, x) += bias[c];
+          }
+        }
+        apply_activation(out, l.activation);
+        ++conv_i;
+        break;
+      }
+      case LayerKind::kMaxPool:
+        out = run_maxpool(l, current);
+        break;
+      case LayerKind::kAvgPool:
+        out = run_avgpool(l, current);
+        break;
+      case LayerKind::kShortcut: {
+        out = current;
+        const Tensor& other = outputs[l.from[0]];
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          out.data()[i] += other.data()[i];
+        }
+        apply_activation(out, l.activation);
+        break;
+      }
+      case LayerKind::kUpsample:
+        out = run_upsample(l, current);
+        break;
+      case LayerKind::kRoute: {
+        out = Tensor(l.out_shape.c, l.out_shape.h, l.out_shape.w);
+        int c0 = 0;
+        for (int src : l.from) {
+          const Tensor& s = outputs[src];
+          for (int c = 0; c < s.c(); ++c) {
+            for (int y = 0; y < s.h(); ++y) {
+              for (int x = 0; x < s.w(); ++x) {
+                out.at(c0 + c, y, x) = s.at(c, y, x);
+              }
+            }
+          }
+          c0 += s.c();
+        }
+        break;
+      }
+      case LayerKind::kConnected:
+        out = run_connected(l, current, weights.fc_weights[fc_i],
+                            weights.fc_bias[fc_i]);
+        apply_activation(out, l.activation);
+        ++fc_i;
+        break;
+      case LayerKind::kSoftmax:
+        out = current;
+        run_softmax(out);
+        break;
+      case LayerKind::kYolo:
+        out = current;
+        break;
+    }
+    outputs.push_back(out);
+    current = std::move(out);
+  }
+  return current;
+}
+
+NetworkTiming profile_network(const Network& net, const SimConfig& config,
+                              const std::vector<Algo>& plan) {
+  const std::vector<int> conv_idx = net.conv_layers();
+  if (plan.size() != conv_idx.size()) {
+    throw std::invalid_argument("profile_network: plan size mismatch");
+  }
+  NetworkTiming t;
+  for (std::size_t i = 0; i < conv_idx.size(); ++i) {
+    const Layer& l = net.layers()[conv_idx[i]];
+    LayerTiming lt;
+    lt.layer_index = conv_idx[i];
+    lt.algo = plan[i];
+    lt.stats = conv_simulate(plan[i], l.conv, config);
+    t.total_cycles += lt.stats.cycles;
+    t.conv_layers.push_back(lt);
+  }
+  return t;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,57 @@
+// Network execution:
+//   * functional inference (all layer types, synthetic weights) — used by the
+//     example applications and end-to-end tests,
+//   * timing profile — per-convolutional-layer simulation, the building block
+//     of every whole-network figure (execution time of a network = sum of its
+//     conv layers, which dominate inference: ~96% for YOLOv3, ~64% for VGG-16).
+#pragma once
+
+#include <vector>
+
+#include "algos/registry.h"
+#include "net/network.h"
+#include "tensor/tensor.h"
+
+namespace vlacnn {
+
+/// Synthetic parameters for every parameterised layer.
+struct NetWeights {
+  // Per conv layer (indexed like Network::conv_layers()): OIHW weights + bias.
+  std::vector<std::vector<float>> conv_weights;
+  std::vector<std::vector<float>> conv_bias;
+  // Per connected layer: out x in matrix + bias.
+  std::vector<std::vector<float>> fc_weights;
+  std::vector<std::vector<float>> fc_bias;
+};
+
+/// Seeded random weights with magnitudes ~ He initialisation (keeps
+/// activations in a numerically healthy range through deep stacks).
+NetWeights make_random_weights(const Network& net, std::uint64_t seed);
+
+/// Per-conv-layer algorithm plan. `fixed` applies one algorithm everywhere,
+/// falling back to gemm6 where it is inapplicable (the paper's "Winograd*").
+std::vector<Algo> uniform_plan(const Network& net, Algo fixed);
+
+/// Run inference numerically. `plan` has one entry per conv layer.
+/// Returns the final layer's output tensor.
+Tensor run_inference(const Network& net, const NetWeights& weights,
+                     const Tensor& input, const std::vector<Algo>& plan,
+                     const VpuConfig& vpu);
+
+/// Timing of one conv layer within a network profile.
+struct LayerTiming {
+  int layer_index = 0;  ///< index into Network::layers()
+  Algo algo = Algo::kGemm6;
+  TimingStats stats;
+};
+
+struct NetworkTiming {
+  std::vector<LayerTiming> conv_layers;
+  double total_cycles = 0;
+};
+
+/// Simulate every conv layer under `config` with the given per-conv plan.
+NetworkTiming profile_network(const Network& net, const SimConfig& config,
+                              const std::vector<Algo>& plan);
+
+}  // namespace vlacnn

@@ -1,0 +1,62 @@
+#include "serving/serving.h"
+
+#include <stdexcept>
+
+namespace vlacnn {
+
+namespace {
+
+bool is_pow2_u64(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+bool ServingPoint::feasible() const {
+  if (instances < 1 || instances > cores) return false;
+  if (l2_total_bytes % static_cast<std::uint64_t>(instances) != 0) return false;
+  const std::uint64_t slice = l2_slice_bytes();
+  return slice >= (1u << 20) && is_pow2_u64(slice);
+}
+
+ServingEval ServingSimulator::evaluate(const Network& net,
+                                       const ServingPoint& point,
+                                       std::optional<Algo> fixed) const {
+  if (!point.feasible()) {
+    throw std::invalid_argument("serving: infeasible configuration");
+  }
+  const std::uint64_t slice = point.l2_slice_bytes();
+  double cycles = 0;
+  if (fixed.has_value()) {
+    cycles = driver_->network_cycles(net, *fixed, point.vlen_bits, slice);
+  } else {
+    cycles = driver_->network_optimal(net, point.vlen_bits, slice).cycles;
+  }
+  ServingEval e;
+  e.point = point;
+  e.cycles_per_image = cycles;
+  e.images_per_cycle = static_cast<double>(point.instances) / cycles;
+  e.area_mm2 =
+      area_.chip_mm2(point.vlen_bits, point.l2_total_bytes, point.cores);
+  return e;
+}
+
+std::vector<ServingEval> ServingSimulator::grid(const Network& net,
+                                                std::optional<Algo> fixed) const {
+  std::vector<ServingEval> out;
+  const int core_counts[] = {1, 4, 16, 64};
+  const std::uint64_t l2_sizes[] = {1ull << 20, 4ull << 20, 16ull << 20,
+                                    64ull << 20, 256ull << 20};
+  for (int cores : core_counts) {
+    for (std::uint32_t vlen : paper2_vlens()) {
+      for (std::uint64_t l2 : l2_sizes) {
+        for (int instances : core_counts) {
+          ServingPoint p{cores, vlen, l2, instances};
+          if (!p.feasible()) continue;
+          out.push_back(evaluate(net, p, fixed));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,62 @@
+// Model-serving co-location simulator (Paper II Section 4.4, Fig 12).
+//
+// A multicore RVV chip hosts N identical model instances, one per core, with
+// static L2 way-partitioning (Intel-CAT-like, as the paper assumes): each
+// instance sees an exclusive slice of the shared L2, so its per-image latency
+// is the single-core co-design result at (vlen, slice). External memory
+// bandwidth is assumed sufficient (the paper's HBM assumption). Aggregate
+// throughput is instances / latency; area comes from the 7 nm model.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "area/area_model.h"
+#include "net/network.h"
+#include "sweep/sweep.h"
+
+namespace vlacnn {
+
+struct ServingPoint {
+  int cores = 1;
+  std::uint32_t vlen_bits = 512;
+  std::uint64_t l2_total_bytes = 1u << 20;
+  int instances = 1;
+
+  std::uint64_t l2_slice_bytes() const {
+    return l2_total_bytes / static_cast<std::uint64_t>(instances);
+  }
+  /// One instance per core, an at-least-1MB power-of-two slice each.
+  bool feasible() const;
+};
+
+struct ServingEval {
+  ServingPoint point;
+  double cycles_per_image = 0;  ///< per-instance latency (conv layers)
+  double images_per_cycle = 0;  ///< aggregate throughput
+  double area_mm2 = 0;
+};
+
+class ServingSimulator {
+ public:
+  ServingSimulator(SweepDriver* driver, AreaModel area = {})
+      : driver_(driver), area_(area) {}
+
+  /// Evaluate one configuration. `fixed` pins a single algorithm for all
+  /// layers (with gemm6 fallback); nullopt selects the optimal per layer.
+  ServingEval evaluate(const Network& net, const ServingPoint& point,
+                       std::optional<Algo> fixed) const;
+
+  /// The paper's grid: cores/instances in {1,4,16,64}, vlen 512..4096,
+  /// shared L2 in {1,4,16,64,256} MB; infeasible combinations skipped.
+  std::vector<ServingEval> grid(const Network& net,
+                                std::optional<Algo> fixed) const;
+
+  const AreaModel& area_model() const { return area_; }
+
+ private:
+  SweepDriver* driver_;
+  AreaModel area_;
+};
+
+}  // namespace vlacnn

@@ -1,0 +1,96 @@
+#include "sweep/results_db.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace vlacnn {
+
+namespace {
+
+const std::vector<std::string> kHeader = {
+    "net",     "layer",  "algo",    "vlen",        "l2_bytes",
+    "lanes",   "attach", "ic",      "ih",          "iw",
+    "oc",      "kh",     "kw",      "stride",      "pad",
+    "cycles",  "avg_vl", "l2_miss_rate", "mem_bytes", "flops"};
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9e", v);
+  return buf;
+}
+
+std::vector<std::string> to_fields(const SweepRow& r) {
+  return {r.key.net,
+          std::to_string(r.key.layer),
+          to_string(r.key.algo),
+          std::to_string(r.key.vlen_bits),
+          std::to_string(r.key.l2_bytes),
+          std::to_string(r.key.lanes),
+          r.key.attach == VpuAttach::kIntegratedL1 ? "int" : "dec",
+          std::to_string(r.desc.ic),
+          std::to_string(r.desc.ih),
+          std::to_string(r.desc.iw),
+          std::to_string(r.desc.oc),
+          std::to_string(r.desc.kh),
+          std::to_string(r.desc.kw),
+          std::to_string(r.desc.stride),
+          std::to_string(r.desc.pad),
+          fmt(r.cycles),
+          fmt(r.avg_vl),
+          fmt(r.l2_miss_rate),
+          fmt(r.mem_bytes),
+          fmt(r.flops)};
+}
+
+}  // namespace
+
+ResultsDb::ResultsDb(std::string path) : path_(std::move(path)) {
+  CsvTable t = read_csv_file(path_);
+  if (t.header.empty()) return;
+  if (t.header != kHeader) {
+    throw std::runtime_error("results_db: incompatible cache file " + path_ +
+                             " (delete it to regenerate)");
+  }
+  for (const auto& f : t.rows) {
+    SweepRow r;
+    r.key.net = f[0];
+    r.key.layer = std::stoi(f[1]);
+    r.key.algo = algo_from_string(f[2]);
+    r.key.vlen_bits = static_cast<std::uint32_t>(std::stoul(f[3]));
+    r.key.l2_bytes = std::stoull(f[4]);
+    r.key.lanes = static_cast<std::uint32_t>(std::stoul(f[5]));
+    r.key.attach =
+        f[6] == "int" ? VpuAttach::kIntegratedL1 : VpuAttach::kDecoupledL2;
+    r.desc = ConvLayerDesc{std::stoi(f[7]),  std::stoi(f[8]),  std::stoi(f[9]),
+                           std::stoi(f[10]), std::stoi(f[11]), std::stoi(f[12]),
+                           std::stoi(f[13]), std::stoi(f[14])};
+    r.cycles = std::stod(f[15]);
+    r.avg_vl = std::stod(f[16]);
+    r.l2_miss_rate = std::stod(f[17]);
+    r.mem_bytes = std::stod(f[18]);
+    r.flops = std::stod(f[19]);
+    rows_[r.key] = r;
+  }
+}
+
+std::optional<SweepRow> ResultsDb::find(const SweepKey& key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultsDb::put(const SweepRow& row) {
+  rows_[row.key] = row;
+  append_csv_rows(path_, kHeader, {to_fields(row)});
+}
+
+std::string default_results_path() {
+  const char* dir = std::getenv("REPRO_RESULTS_DIR");
+  std::string base = dir != nullptr ? dir : "results";
+  return base + "/sweep_cache.csv";
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,62 @@
+// Persistent cache of per-layer simulation results, shared by all benchmark
+// binaries. The co-design figures all draw from the same (network x layer x
+// algorithm x vlen x L2) grid; the first bench to need a point computes and
+// appends it, later ones read it back.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "algos/conv_args.h"
+#include "memsim/memory_system.h"
+#include "tensor/conv_desc.h"
+
+namespace vlacnn {
+
+struct SweepKey {
+  std::string net;  ///< model name, e.g. "vgg16"
+  int layer = 0;    ///< conv-layer ordinal within the model (0-based)
+  Algo algo = Algo::kGemm6;
+  std::uint32_t vlen_bits = 512;
+  std::uint64_t l2_bytes = 1u << 20;
+  std::uint32_t lanes = 8;
+  VpuAttach attach = VpuAttach::kIntegratedL1;
+
+  auto tie() const {
+    return std::tie(net, layer, algo, vlen_bits, l2_bytes, lanes, attach);
+  }
+  bool operator<(const SweepKey& o) const { return tie() < o.tie(); }
+};
+
+struct SweepRow {
+  SweepKey key;
+  ConvLayerDesc desc;
+  double cycles = 0;
+  double avg_vl = 0;
+  double l2_miss_rate = 0;
+  double mem_bytes = 0;
+  double flops = 0;
+};
+
+/// CSV-backed store. Loads existing rows at construction; put() appends both in
+/// memory and on disk.
+class ResultsDb {
+ public:
+  explicit ResultsDb(std::string path);
+
+  std::optional<SweepRow> find(const SweepKey& key) const;
+  void put(const SweepRow& row);
+  std::size_t size() const { return rows_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::map<SweepKey, SweepRow> rows_;
+};
+
+/// REPRO_RESULTS_DIR env var, defaulting to "results" under the current
+/// working directory.
+std::string default_results_path();
+
+}  // namespace vlacnn

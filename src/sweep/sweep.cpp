@@ -1,0 +1,126 @@
+#include "sweep/sweep.h"
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace vlacnn {
+
+std::vector<std::uint32_t> paper2_vlens() { return {512, 1024, 2048, 4096}; }
+std::vector<std::uint64_t> paper2_l2_sizes() {
+  return {1ull << 20, 4ull << 20, 16ull << 20, 64ull << 20};
+}
+std::vector<std::uint32_t> paper1_vlens() {
+  return {512, 1024, 2048, 4096, 8192, 16384};
+}
+std::vector<std::uint64_t> paper1_l2_sizes() {
+  return {1ull << 20, 8ull << 20, 64ull << 20, 256ull << 20};
+}
+
+bool repro_exact_mode() {
+  const char* v = std::getenv("REPRO_EXACT");
+  return v != nullptr && v[0] == '1';
+}
+
+SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
+                          const ConvLayerDesc& desc, Algo algo,
+                          std::uint32_t vlen_bits, std::uint64_t l2_bytes,
+                          std::uint32_t lanes, VpuAttach attach) {
+  SweepKey key{net_name, conv_ordinal, algo, vlen_bits, l2_bytes, lanes, attach};
+  if (auto hit = db_->find(key)) {
+    if (!(hit->desc == desc)) {
+      throw std::runtime_error(
+          "sweep: cached layer descriptor mismatch for " + net_name +
+          " layer " + std::to_string(conv_ordinal) +
+          " (stale cache? delete " + db_->path() + ")");
+    }
+    return *hit;
+  }
+  SimConfig config = make_sim_config(vlen_bits, l2_bytes, lanes, attach);
+  config.sampler.exact = repro_exact_mode();
+  const TimingStats stats = conv_simulate(algo, desc, config);
+  SweepRow row;
+  row.key = key;
+  row.desc = desc;
+  row.cycles = stats.cycles;
+  row.avg_vl = stats.avg_vl();
+  row.l2_miss_rate = stats.l2_miss_rate();
+  row.mem_bytes = stats.mem_bytes;
+  row.flops = stats.flops;
+  db_->put(row);
+  return row;
+}
+
+std::vector<SweepRow> SweepDriver::network_rows(const Network& net, Algo algo,
+                                                std::uint32_t vlen_bits,
+                                                std::uint64_t l2_bytes,
+                                                std::uint32_t lanes,
+                                                VpuAttach attach) {
+  std::vector<SweepRow> rows;
+  const auto descs = net.conv_descs();
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    const Algo a = algo_applicable(algo, descs[i]) ? algo : Algo::kGemm6;
+    rows.push_back(get(net.name(), static_cast<int>(i), descs[i], a, vlen_bits,
+                       l2_bytes, lanes, attach));
+  }
+  return rows;
+}
+
+double SweepDriver::network_cycles(const Network& net, Algo algo,
+                                   std::uint32_t vlen_bits,
+                                   std::uint64_t l2_bytes, std::uint32_t lanes,
+                                   VpuAttach attach) {
+  double total = 0;
+  for (const SweepRow& r :
+       network_rows(net, algo, vlen_bits, l2_bytes, lanes, attach)) {
+    total += r.cycles;
+  }
+  return total;
+}
+
+SweepDriver::OptimalResult SweepDriver::network_optimal(const Network& net,
+                                                        std::uint32_t vlen_bits,
+                                                        std::uint64_t l2_bytes,
+                                                        std::uint32_t lanes,
+                                                        VpuAttach attach) {
+  OptimalResult out;
+  const auto descs = net.conv_descs();
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    Algo best_algo = Algo::kGemm6;
+    for (Algo a : kAllAlgos) {
+      if (!algo_applicable(a, descs[i])) continue;
+      const SweepRow r = get(net.name(), static_cast<int>(i), descs[i], a,
+                             vlen_bits, l2_bytes, lanes, attach);
+      if (r.cycles < best) {
+        best = r.cycles;
+        best_algo = a;
+      }
+    }
+    out.plan.push_back(best_algo);
+    out.cycles += best;
+  }
+  return out;
+}
+
+double SweepDriver::network_plan_cycles(const Network& net,
+                                        const std::vector<Algo>& plan,
+                                        std::uint32_t vlen_bits,
+                                        std::uint64_t l2_bytes,
+                                        std::uint32_t lanes, VpuAttach attach) {
+  const auto descs = net.conv_descs();
+  if (plan.size() != descs.size()) {
+    throw std::invalid_argument("sweep: plan size mismatch");
+  }
+  double total = 0;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    const Algo a =
+        algo_applicable(plan[i], descs[i]) ? plan[i] : Algo::kGemm6;
+    total += get(net.name(), static_cast<int>(i), descs[i], a, vlen_bits,
+                 l2_bytes, lanes, attach)
+                 .cycles;
+  }
+  return total;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,70 @@
+// Co-design sweep driver: computes (or retrieves) the per-layer simulation grid
+// every figure is built from, and provides the standard grids of Paper II
+// (vlen in {512..4096} x L2 in {1,4,16,64} MB) and Paper I (decoupled VPU,
+// vlen to 16384, L2 to 256 MB).
+#pragma once
+
+#include <vector>
+
+#include "algos/registry.h"
+#include "net/network.h"
+#include "sweep/results_db.h"
+
+namespace vlacnn {
+
+/// Paper II hardware grid.
+std::vector<std::uint32_t> paper2_vlens();        // 512..4096
+std::vector<std::uint64_t> paper2_l2_sizes();     // 1,4,16,64 MB
+/// Paper I hardware grid (decoupled RVV).
+std::vector<std::uint32_t> paper1_vlens();        // 512..16384
+std::vector<std::uint64_t> paper1_l2_sizes();     // 1,8,64,256 MB
+
+class SweepDriver {
+ public:
+  explicit SweepDriver(ResultsDb* db) : db_(db) {}
+
+  /// Result for one (layer, algo, hardware) point; simulates on cache miss.
+  /// The sampler honours REPRO_EXACT=1.
+  SweepRow get(const std::string& net_name, int conv_ordinal,
+               const ConvLayerDesc& desc, Algo algo, std::uint32_t vlen_bits,
+               std::uint64_t l2_bytes, std::uint32_t lanes = 8,
+               VpuAttach attach = VpuAttach::kIntegratedL1);
+
+  /// All per-layer rows of one network under one hardware point, one row per
+  /// conv layer, using `algo` where applicable and gemm6 as fallback.
+  std::vector<SweepRow> network_rows(const Network& net, Algo algo,
+                                     std::uint32_t vlen_bits,
+                                     std::uint64_t l2_bytes,
+                                     std::uint32_t lanes = 8,
+                                     VpuAttach attach = VpuAttach::kIntegratedL1);
+
+  /// Sum of cycles over conv layers for a uniform-algorithm plan.
+  double network_cycles(const Network& net, Algo algo, std::uint32_t vlen_bits,
+                        std::uint64_t l2_bytes, std::uint32_t lanes = 8,
+                        VpuAttach attach = VpuAttach::kIntegratedL1);
+
+  /// Per-layer optimal plan (argmin over applicable algorithms) and its cycles.
+  struct OptimalResult {
+    std::vector<Algo> plan;
+    double cycles = 0;
+  };
+  OptimalResult network_optimal(const Network& net, std::uint32_t vlen_bits,
+                                std::uint64_t l2_bytes, std::uint32_t lanes = 8,
+                                VpuAttach attach = VpuAttach::kIntegratedL1);
+
+  /// Cycles of an explicit per-conv-layer plan.
+  double network_plan_cycles(const Network& net, const std::vector<Algo>& plan,
+                             std::uint32_t vlen_bits, std::uint64_t l2_bytes,
+                             std::uint32_t lanes = 8,
+                             VpuAttach attach = VpuAttach::kIntegratedL1);
+
+  ResultsDb* db() const { return db_; }
+
+ private:
+  ResultsDb* db_;
+};
+
+/// True when REPRO_EXACT=1 is set (disables sampled simulation).
+bool repro_exact_mode();
+
+}  // namespace vlacnn

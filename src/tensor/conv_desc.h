@@ -1,0 +1,67 @@
+// Descriptor of a convolutional layer: the ten "software parameters" the paper
+// feeds to its algorithm-selection model (input/output channels and dimensions,
+// kernel size, stride, padding).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vlacnn {
+
+struct ConvLayerDesc {
+  int ic = 1;      ///< input channels
+  int ih = 1;      ///< input height
+  int iw = 1;      ///< input width
+  int oc = 1;      ///< output channels (number of filters)
+  int kh = 1;      ///< kernel height
+  int kw = 1;      ///< kernel width
+  int stride = 1;
+  int pad = 0;
+
+  int oh() const { return (ih + 2 * pad - kh) / stride + 1; }
+  int ow() const { return (iw + 2 * pad - kw) / stride + 1; }
+
+  std::uint64_t in_elems() const {
+    return static_cast<std::uint64_t>(ic) * ih * iw;
+  }
+  std::uint64_t weight_elems() const {
+    return static_cast<std::uint64_t>(oc) * ic * kh * kw;
+  }
+  std::uint64_t out_elems() const {
+    return static_cast<std::uint64_t>(oc) * oh() * ow();
+  }
+  /// Multiply-accumulates of the direct formulation (im2col+GEMM does the same
+  /// amount of arithmetic; Winograd does less).
+  std::uint64_t macs() const {
+    return static_cast<std::uint64_t>(oh()) * ow() * oc * ic * kh * kw;
+  }
+
+  /// GEMM dimensions after im2col: weights are M x K, input matrix K x N.
+  std::uint64_t gemm_m() const { return oc; }
+  std::uint64_t gemm_k() const {
+    return static_cast<std::uint64_t>(ic) * kh * kw;
+  }
+  std::uint64_t gemm_n() const {
+    return static_cast<std::uint64_t>(oh()) * ow();
+  }
+
+  /// Arithmetic intensity of im2col+GEMM per the roofline model used in
+  /// Paper I Table IV: 2MNK / 4(MN + KN + MK).
+  double arithmetic_intensity() const {
+    const double m = static_cast<double>(gemm_m());
+    const double k = static_cast<double>(gemm_k());
+    const double n = static_cast<double>(gemm_n());
+    return (2.0 * m * n * k) / (4.0 * (m * n + k * n + m * k));
+  }
+
+  bool operator==(const ConvLayerDesc&) const = default;
+
+  std::string to_string() const {
+    return "conv[ic=" + std::to_string(ic) + " ih=" + std::to_string(ih) +
+           " iw=" + std::to_string(iw) + " oc=" + std::to_string(oc) +
+           " k=" + std::to_string(kh) + "x" + std::to_string(kw) +
+           " s=" + std::to_string(stride) + " p=" + std::to_string(pad) + "]";
+  }
+};
+
+}  // namespace vlacnn

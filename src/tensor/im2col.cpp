@@ -1,0 +1,44 @@
+#include "tensor/im2col.h"
+
+#include <stdexcept>
+
+namespace vlacnn {
+
+void im2col_nchw(const ConvLayerDesc& d, const float* input, float* out) {
+  const int oh = d.oh();
+  const int ow = d.ow();
+  std::size_t row = 0;
+  for (int c = 0; c < d.ic; ++c) {
+    for (int ky = 0; ky < d.kh; ++ky) {
+      for (int kx = 0; kx < d.kw; ++kx, ++row) {
+        float* dst = out + row * static_cast<std::size_t>(oh) * ow;
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * d.stride + ky - d.pad;
+          for (int x = 0; x < ow; ++x) {
+            const int ix = x * d.stride + kx - d.pad;
+            const bool in_bounds =
+                iy >= 0 && iy < d.ih && ix >= 0 && ix < d.iw;
+            dst[static_cast<std::size_t>(y) * ow + x] =
+                in_bounds
+                    ? input[(static_cast<std::size_t>(c) * d.ih + iy) * d.iw + ix]
+                    : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<float> im2col_nchw(const ConvLayerDesc& d, const Tensor& input) {
+  if (input.layout() != Layout::kNCHW) {
+    throw std::invalid_argument("im2col_nchw: input must be NCHW");
+  }
+  if (input.c() != d.ic || input.h() != d.ih || input.w() != d.iw) {
+    throw std::invalid_argument("im2col_nchw: input shape mismatch");
+  }
+  std::vector<float> out(d.gemm_k() * d.gemm_n());
+  im2col_nchw(d, input.data(), out.data());
+  return out;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,21 @@
+// Scalar im2col transformation (Darknet-style), used by the reference GEMM path
+// and by tests. The vectorized, engine-templated im2col that the simulated
+// kernels use lives with the kernels in src/algos/gemm_common.h.
+#pragma once
+
+#include <vector>
+
+#include "tensor/conv_desc.h"
+#include "tensor/tensor.h"
+
+namespace vlacnn {
+
+/// Expand an NCHW input into the K x N column matrix (K = ic*kh*kw rows,
+/// N = oh*ow columns), zero-padding out-of-bounds taps.
+/// out must have room for gemm_k() * gemm_n() floats.
+void im2col_nchw(const ConvLayerDesc& desc, const float* input, float* out);
+
+/// Convenience overload allocating the output.
+std::vector<float> im2col_nchw(const ConvLayerDesc& desc, const Tensor& input);
+
+}  // namespace vlacnn

@@ -1,0 +1,61 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace vlacnn {
+
+Tensor::Tensor(int c, int h, int w, Layout layout)
+    : c_(c), h_(h), w_(w), layout_(layout) {
+  if (c <= 0 || h <= 0 || w <= 0) {
+    throw std::invalid_argument("tensor: dimensions must be positive");
+  }
+  data_.assign(static_cast<std::size_t>(c) * h * w, 0.0f);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::fill_random(Rng& rng, float lo, float hi) {
+  fill_uniform(rng, data_.data(), data_.size(), lo, hi);
+}
+
+Tensor Tensor::to_layout(Layout target) const {
+  Tensor out(c_, h_, w_, target);
+  if (target == layout_) {
+    out.data_ = data_;
+    return out;
+  }
+  for (int c = 0; c < c_; ++c) {
+    for (int y = 0; y < h_; ++y) {
+      for (int x = 0; x < w_; ++x) out.at(c, y, x) = at(c, y, x);
+    }
+  }
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.c() != b.c() || a.h() != b.h() || a.w() != b.w()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  float worst = 0.0f;
+  for (int c = 0; c < a.c(); ++c) {
+    for (int y = 0; y < a.h(); ++y) {
+      for (int x = 0; x < a.w(); ++x) {
+        worst = std::max(worst, std::fabs(a.at(c, y, x) - b.at(c, y, x)));
+      }
+    }
+  }
+  return worst;
+}
+
+float max_abs(const Tensor& a) {
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i]));
+  }
+  return worst;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,57 @@
+// Minimal tensor container for batch-1 CNN inference (the papers evaluate with
+// batch size 1, the common model-serving case).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace vlacnn {
+
+class Rng;
+
+enum class Layout { kNCHW, kNHWC };
+
+/// A 3-D (channels x height x width) float tensor in one of the two layouts the
+/// convolution algorithms use. Owns its storage.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int c, int h, int w, Layout layout = Layout::kNCHW);
+
+  int c() const { return c_; }
+  int h() const { return h_; }
+  int w() const { return w_; }
+  Layout layout() const { return layout_; }
+  std::size_t size() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::size_t index(int c, int y, int x) const {
+    return layout_ == Layout::kNCHW
+               ? (static_cast<std::size_t>(c) * h_ + y) * w_ + x
+               : (static_cast<std::size_t>(y) * w_ + x) * c_ + c;
+  }
+  float& at(int c, int y, int x) { return data_[index(c, y, x)]; }
+  float at(int c, int y, int x) const { return data_[index(c, y, x)]; }
+
+  void fill(float v);
+  void fill_random(Rng& rng, float lo = -1.0f, float hi = 1.0f);
+
+  /// Copy into the other layout.
+  Tensor to_layout(Layout target) const;
+
+ private:
+  int c_ = 0, h_ = 0, w_ = 0;
+  Layout layout_ = Layout::kNCHW;
+  std::vector<float> data_;
+};
+
+/// Max absolute difference between equally-shaped tensors (layout-independent).
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Max absolute value, used for relative-error checks.
+float max_abs(const Tensor& a);
+
+}  // namespace vlacnn

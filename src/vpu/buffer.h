@@ -1,0 +1,49 @@
+// Buffer views shared by the functional and trace engines.
+//
+// Every array a kernel touches is addressed through a BufView: a virtual address
+// (for the cache simulator) plus an optional host pointer (for functional
+// execution). Kernels never dereference raw pointers; all element access goes
+// through engine operations, which is what lets one kernel template serve both
+// numerically-correct execution and trace-driven timing simulation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace vlacnn {
+
+struct BufView {
+  std::uint64_t addr = 0;     ///< virtual byte address for the memory simulator
+  float* data = nullptr;      ///< host backing store; null in trace-only mode
+
+  /// View shifted by an element offset.
+  BufView sub(std::uint64_t elem_off) const {
+    return {addr + 4 * elem_off, data ? data + elem_off : nullptr};
+  }
+};
+
+/// Engine-owned scratch allocation. The storage member is populated only by the
+/// functional engine; the trace engine allocates address space alone.
+struct Scratch {
+  BufView view;
+  std::shared_ptr<std::vector<float>> storage;
+};
+
+/// Bump allocator for virtual addresses. Page-aligns every allocation so
+/// distinct buffers never share a cache line in the simulator.
+class VirtualArena {
+ public:
+  std::uint64_t allocate(std::uint64_t bytes) {
+    const std::uint64_t addr = next_;
+    const std::uint64_t aligned = (bytes + kPage - 1) & ~(kPage - 1);
+    next_ += aligned + kPage;  // guard page between buffers
+    return addr;
+  }
+
+ private:
+  static constexpr std::uint64_t kPage = 4096;
+  std::uint64_t next_ = 1ull << 20;
+};
+
+}  // namespace vlacnn

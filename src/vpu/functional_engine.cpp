@@ -1,0 +1,9 @@
+#include "vpu/functional_engine.h"
+
+namespace vlacnn {
+
+static_assert(FunctionalEngine::computes() && sizeof(FunctionalEngine::Vec) ==
+                  sizeof(std::uint32_t) + sizeof(float) * kMaxVlElems,
+              "functional vectors carry the full architectural register");
+
+}  // namespace vlacnn

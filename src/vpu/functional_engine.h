@@ -1,0 +1,192 @@
+// FunctionalEngine: executes a kernel's vector program *numerically*, with the
+// exact vsetvl/predication semantics of the trace engine. Used by correctness
+// tests, the example applications, and hybrid runs that validate that the trace
+// engine sees the same instruction stream (attach a TimingModel to get timing
+// alongside the numbers).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "vpu/buffer.h"
+#include "vpu/timing_model.h"
+#include "vpu/vpu_config.h"
+
+namespace vlacnn {
+
+class FunctionalEngine {
+ public:
+  /// A real vector register: up to the architectural maximum of 512 fp32 lanes.
+  /// Only the first `vl` elements are meaningful (tail-undisturbed semantics are
+  /// not needed by the kernels, which always operate under setvl).
+  struct Vec {
+    std::uint32_t vl = 0;
+    std::array<float, kMaxVlElems> v{};
+  };
+
+  /// timing may be null for fast numeric-only execution.
+  explicit FunctionalEngine(const VpuConfig& vpu, TimingModel* timing = nullptr)
+      : vpu_(vpu), timing_(timing) {}
+
+  const VpuConfig& vpu() const { return vpu_; }
+  TimingModel* timing() const { return timing_; }
+  static constexpr bool computes() { return true; }
+
+  std::uint64_t setvl(std::uint64_t requested) const {
+    return vpu_.setvl(requested);
+  }
+
+  // -- memory -----------------------------------------------------------------
+  /// Register an external array. The const_cast is internal plumbing: kernels
+  /// never write through views of their inputs.
+  BufView bind(const float* data, std::uint64_t elems) {
+    return {arena_.allocate(elems * 4), const_cast<float*>(data)};
+  }
+  Scratch alloc(std::uint64_t elems) {
+    auto storage = std::make_shared<std::vector<float>>(elems, 0.0f);
+    return {BufView{arena_.allocate(elems * 4), storage->data()}, storage};
+  }
+
+  Vec vload(BufView src, std::uint64_t off, std::uint64_t vl) {
+    if (timing_) timing_->vec_mem(src.addr + 4 * off, vl, 4, MemPattern::kUnit, false);
+    Vec r;
+    r.vl = static_cast<std::uint32_t>(vl);
+    std::copy_n(src.data + off, vl, r.v.begin());
+    return r;
+  }
+  Vec vload_strided(BufView src, std::uint64_t off, std::int64_t stride_elems,
+                    std::uint64_t vl) {
+    if (timing_) {
+      timing_->vec_mem(src.addr + 4 * off, vl, stride_elems * 4,
+                       MemPattern::kStrided, false);
+    }
+    Vec r;
+    r.vl = static_cast<std::uint32_t>(vl);
+    for (std::uint64_t i = 0; i < vl; ++i) {
+      r.v[i] = src.data[off + static_cast<std::int64_t>(i) * stride_elems];
+    }
+    return r;
+  }
+  Vec vgather(BufView src, std::uint64_t off, const std::uint32_t* idx,
+              std::uint64_t vl) {
+    if (timing_) {
+      timing_->vec_mem(src.addr + 4 * off, vl, 4, MemPattern::kIndexed, false);
+    }
+    Vec r;
+    r.vl = static_cast<std::uint32_t>(vl);
+    for (std::uint64_t i = 0; i < vl; ++i) r.v[i] = src.data[off + idx[i]];
+    return r;
+  }
+  void vstore(const Vec& v, BufView dst, std::uint64_t off) {
+    if (timing_) timing_->vec_mem(dst.addr + 4 * off, v.vl, 4, MemPattern::kUnit, true);
+    std::copy_n(v.v.begin(), v.vl, dst.data + off);
+  }
+  void vstore_strided(const Vec& v, BufView dst, std::uint64_t off,
+                      std::int64_t stride_elems) {
+    if (timing_) {
+      timing_->vec_mem(dst.addr + 4 * off, v.vl, stride_elems * 4,
+                       MemPattern::kStrided, true);
+    }
+    for (std::uint32_t i = 0; i < v.vl; ++i) {
+      dst.data[off + static_cast<std::int64_t>(i) * stride_elems] = v.v[i];
+    }
+  }
+  void prefetch(BufView b, std::uint64_t off, std::uint64_t bytes) {
+    if (timing_) timing_->prefetch(b.addr + 4 * off, bytes);
+  }
+
+  float scalar_load(BufView b, std::uint64_t off) {
+    if (timing_) timing_->scalar_mem(b.addr + 4 * off, 4, false);
+    return b.data[off];
+  }
+  void scalar_store(BufView b, std::uint64_t off, float value) {
+    if (timing_) timing_->scalar_mem(b.addr + 4 * off, 4, true);
+    b.data[off] = value;
+  }
+
+  // -- arithmetic ---------------------------------------------------------------
+  Vec vbroadcast(float s, std::uint64_t vl) {
+    if (timing_) timing_->vec_arith(vl, 0);
+    Vec r;
+    r.vl = static_cast<std::uint32_t>(vl);
+    std::fill_n(r.v.begin(), vl, s);
+    return r;
+  }
+  void vfma_vv(Vec& acc, const Vec& a, const Vec& b) {
+    assert(acc.vl == a.vl && acc.vl == b.vl);
+    if (timing_) timing_->vec_arith(acc.vl, 2);
+    for (std::uint32_t i = 0; i < acc.vl; ++i) acc.v[i] += a.v[i] * b.v[i];
+  }
+  void vfma_vs(Vec& acc, float s, const Vec& b) {
+    assert(acc.vl == b.vl);
+    if (timing_) timing_->vec_arith(acc.vl, 2);
+    for (std::uint32_t i = 0; i < acc.vl; ++i) acc.v[i] += s * b.v[i];
+  }
+  void vadd_vv(Vec& acc, const Vec& b) {
+    assert(acc.vl == b.vl);
+    if (timing_) timing_->vec_arith(acc.vl, 1);
+    for (std::uint32_t i = 0; i < acc.vl; ++i) acc.v[i] += b.v[i];
+  }
+  void vsub_vv(Vec& acc, const Vec& b) {
+    assert(acc.vl == b.vl);
+    if (timing_) timing_->vec_arith(acc.vl, 1);
+    for (std::uint32_t i = 0; i < acc.vl; ++i) acc.v[i] -= b.v[i];
+  }
+  void vmul_vv(Vec& acc, const Vec& b) {
+    assert(acc.vl == b.vl);
+    if (timing_) timing_->vec_arith(acc.vl, 1);
+    for (std::uint32_t i = 0; i < acc.vl; ++i) acc.v[i] *= b.v[i];
+  }
+  void vmul_vs(Vec& acc, float s) {
+    if (timing_) timing_->vec_arith(acc.vl, 1);
+    for (std::uint32_t i = 0; i < acc.vl; ++i) acc.v[i] *= s;
+  }
+  void vadd_vs(Vec& acc, float s) {
+    if (timing_) timing_->vec_arith(acc.vl, 1);
+    for (std::uint32_t i = 0; i < acc.vl; ++i) acc.v[i] += s;
+  }
+  void vmax_vs(Vec& acc, float s) {
+    if (timing_) timing_->vec_arith(acc.vl, 1);
+    for (std::uint32_t i = 0; i < acc.vl; ++i) acc.v[i] = std::max(acc.v[i], s);
+  }
+  void vleaky(Vec& acc, float slope) {
+    if (timing_) timing_->vec_arith(acc.vl, 2);
+    for (std::uint32_t i = 0; i < acc.vl; ++i) {
+      if (acc.v[i] < 0.0f) acc.v[i] *= slope;
+    }
+  }
+  float vredsum(const Vec& v) {
+    if (timing_) timing_->vec_reduce(v.vl);
+    float s = 0.0f;
+    for (std::uint32_t i = 0; i < v.vl; ++i) s += v.v[i];
+    return s;
+  }
+  float vredmax(const Vec& v) {
+    if (timing_) timing_->vec_reduce(v.vl);
+    float s = -3.4e38f;
+    for (std::uint32_t i = 0; i < v.vl; ++i) s = std::max(s, v.v[i]);
+    return s;
+  }
+  /// Vectorised exponential (polynomial approximation on real hardware).
+  void vexp(Vec& acc) {
+    if (timing_) timing_->vec_arith(acc.vl, 4);
+    for (std::uint32_t i = 0; i < acc.vl; ++i) acc.v[i] = std::exp(acc.v[i]);
+  }
+
+  void scalar_ops(std::uint64_t n) {
+    if (timing_) timing_->scalar_ops(n);
+  }
+
+ private:
+  VpuConfig vpu_;
+  TimingModel* timing_;
+  VirtualArena arena_;
+};
+
+}  // namespace vlacnn

@@ -1,0 +1,10 @@
+// TraceEngine is fully inline (hot path of the simulator); this translation unit
+// exists to give the header a home in the library and to hold its static checks.
+#include "vpu/trace_engine.h"
+
+namespace vlacnn {
+
+static_assert(sizeof(TraceEngine::Vec) == 4,
+              "trace vectors must stay trivially cheap");
+
+}  // namespace vlacnn

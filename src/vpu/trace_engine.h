@@ -1,0 +1,121 @@
+// TraceEngine: executes a kernel's vector program for *timing only*.
+//
+// Vector values are opaque tokens carrying just their length; every operation is
+// forwarded to the TimingModel (and through it, the cache simulator). This is
+// the engine the co-design sweeps run on: no arithmetic, no data, only the real
+// instruction stream and the real memory trace of the kernel's loop nest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vpu/buffer.h"
+#include "vpu/timing_model.h"
+#include "vpu/vpu_config.h"
+
+namespace vlacnn {
+
+class TraceEngine {
+ public:
+  /// Opaque vector register token.
+  struct Vec {
+    std::uint32_t vl = 0;
+  };
+
+  TraceEngine(const VpuConfig& vpu, TimingModel* timing)
+      : vpu_(vpu), timing_(timing) {}
+
+  const VpuConfig& vpu() const { return vpu_; }
+  TimingModel* timing() const { return timing_; }
+
+  /// Whether this engine produces numeric results (used by kernels to skip
+  /// value-only work such as zero-initialising scratch in trace mode).
+  static constexpr bool computes() { return false; }
+
+  std::uint64_t setvl(std::uint64_t requested) const {
+    return vpu_.setvl(requested);
+  }
+
+  // -- memory -----------------------------------------------------------------
+  BufView bind(const float* /*data*/, std::uint64_t elems) {
+    return {arena_.allocate(elems * 4), nullptr};
+  }
+  Scratch alloc(std::uint64_t elems) {
+    return {BufView{arena_.allocate(elems * 4), nullptr}, nullptr};
+  }
+
+  Vec vload(BufView src, std::uint64_t off, std::uint64_t vl) {
+    timing_->vec_mem(src.addr + 4 * off, vl, 4, MemPattern::kUnit, false);
+    return {static_cast<std::uint32_t>(vl)};
+  }
+  Vec vload_strided(BufView src, std::uint64_t off, std::int64_t stride_elems,
+                    std::uint64_t vl) {
+    timing_->vec_mem(src.addr + 4 * off, vl, stride_elems * 4,
+                     MemPattern::kStrided, false);
+    return {static_cast<std::uint32_t>(vl)};
+  }
+  Vec vgather(BufView src, std::uint64_t off, const std::uint32_t* /*idx*/,
+              std::uint64_t vl) {
+    timing_->vec_mem(src.addr + 4 * off, vl, 4, MemPattern::kIndexed, false);
+    return {static_cast<std::uint32_t>(vl)};
+  }
+  void vstore(const Vec& v, BufView dst, std::uint64_t off) {
+    timing_->vec_mem(dst.addr + 4 * off, v.vl, 4, MemPattern::kUnit, true);
+  }
+  void vstore_strided(const Vec& v, BufView dst, std::uint64_t off,
+                      std::int64_t stride_elems) {
+    timing_->vec_mem(dst.addr + 4 * off, v.vl, stride_elems * 4,
+                     MemPattern::kStrided, true);
+  }
+  void prefetch(BufView b, std::uint64_t off, std::uint64_t bytes) {
+    timing_->prefetch(b.addr + 4 * off, bytes);
+  }
+
+  float scalar_load(BufView b, std::uint64_t off) {
+    timing_->scalar_mem(b.addr + 4 * off, 4, false);
+    return 0.0f;
+  }
+  void scalar_store(BufView b, std::uint64_t off, float /*value*/) {
+    timing_->scalar_mem(b.addr + 4 * off, 4, true);
+  }
+
+  // -- arithmetic ---------------------------------------------------------------
+  Vec vbroadcast(float /*s*/, std::uint64_t vl) {
+    timing_->vec_arith(vl, 0);
+    return {static_cast<std::uint32_t>(vl)};
+  }
+  void vfma_vv(Vec& acc, const Vec& a, const Vec& /*b*/) {
+    timing_->vec_arith(acc.vl, 2);
+    (void)a;
+  }
+  void vfma_vs(Vec& acc, float /*s*/, const Vec& /*b*/) {
+    timing_->vec_arith(acc.vl, 2);
+  }
+  void vadd_vv(Vec& acc, const Vec& /*b*/) { timing_->vec_arith(acc.vl, 1); }
+  void vsub_vv(Vec& acc, const Vec& /*b*/) { timing_->vec_arith(acc.vl, 1); }
+  void vmul_vv(Vec& acc, const Vec& /*b*/) { timing_->vec_arith(acc.vl, 1); }
+  void vmul_vs(Vec& acc, float /*s*/) { timing_->vec_arith(acc.vl, 1); }
+  void vadd_vs(Vec& acc, float /*s*/) { timing_->vec_arith(acc.vl, 1); }
+  void vmax_vs(Vec& acc, float /*s*/) { timing_->vec_arith(acc.vl, 1); }
+  /// Leaky-ReLU composite: compare + blend (two vector ops).
+  void vleaky(Vec& acc, float /*slope*/) { timing_->vec_arith(acc.vl, 2); }
+  float vredsum(const Vec& v) {
+    timing_->vec_reduce(v.vl);
+    return 0.0f;
+  }
+  float vredmax(const Vec& v) {
+    timing_->vec_reduce(v.vl);
+    return 0.0f;
+  }
+  /// Vectorised exponential (polynomial approximation on real hardware).
+  void vexp(Vec& acc) { timing_->vec_arith(acc.vl, 4); }
+
+  void scalar_ops(std::uint64_t n) { timing_->scalar_ops(n); }
+
+ private:
+  VpuConfig vpu_;
+  TimingModel* timing_;
+  VirtualArena arena_;
+};
+
+}  // namespace vlacnn

@@ -1,0 +1,17 @@
+#include "vpu/vpu_config.h"
+
+#include <stdexcept>
+
+namespace vlacnn {
+
+void validate(const VpuConfig& config) {
+  const std::uint32_t v = config.vlen_bits;
+  if (v < 128 || v > kMaxVlenBits || (v & (v - 1)) != 0) {
+    throw std::invalid_argument("vpu: vlen must be a power of two in [128, 16384]");
+  }
+  if (config.lanes == 0 || config.lanes > 64) {
+    throw std::invalid_argument("vpu: lanes must be in [1, 64]");
+  }
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,226 @@
+#include "wino/transforms.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "common/linalg.h"
+#include "common/rng.h"
+
+namespace vlacnn {
+
+namespace {
+
+// Canonical B^T / A^T matrices (interpolation points: F(2,3): {0,1,-1};
+// F(4,3): {0,1,-1,2,-2}; F(6,3): {0,1,-1,2,-2,1/2,-1/2}).
+
+const double kBt2[4 * 4] = {
+    1, 0, -1, 0,   //
+    0, 1, 1, 0,    //
+    0, -1, 1, 0,   //
+    0, 1, 0, -1,   //
+};
+const double kAt2[2 * 4] = {
+    1, 1, 1, 0,    //
+    0, 1, -1, -1,  //
+};
+
+const double kBt4[6 * 6] = {
+    4, 0, -5, 0, 1, 0,    //
+    0, -4, -4, 1, 1, 0,   //
+    0, 4, -4, -1, 1, 0,   //
+    0, -2, -1, 2, 1, 0,   //
+    0, 2, -1, -2, 1, 0,   //
+    0, 4, 0, -5, 0, 1,    //
+};
+const double kAt4[4 * 6] = {
+    1, 1, 1, 1, 1, 0,    //
+    0, 1, -1, 2, -2, 0,  //
+    0, 1, 1, 4, 4, 0,    //
+    0, 1, -1, 8, -8, 1,  //
+};
+
+const double kBt6[8 * 8] = {
+    1, 0,    -21.0 / 4, 0,        21.0 / 4,  0,         -1, 0,  //
+    0, 1,    1,         -17.0 / 4, -17.0 / 4, 1,         1,  0,  //
+    0, -1,   1,         17.0 / 4,  -17.0 / 4, -1,        1,  0,  //
+    0, 0.5,  0.25,      -2.5,      -1.25,     2,         1,  0,  //
+    0, -0.5, 0.25,      2.5,       -1.25,     -2,        1,  0,  //
+    0, 2,    4,         -2.5,      -5,        0.5,       1,  0,  //
+    0, -2,   4,         2.5,       -5,        -0.5,      1,  0,  //
+    0, -1,   0,         21.0 / 4,  0,         -21.0 / 4, 0,  1,  //
+};
+const double kAt6[6 * 8] = {
+    1, 1, 1,  1, 1,   1,          1,           0,  //
+    0, 1, -1, 2, -2,  1.0 / 2,    -1.0 / 2,    0,  //
+    0, 1, 1,  4, 4,   1.0 / 4,    1.0 / 4,     0,  //
+    0, 1, -1, 8, -8,  1.0 / 8,    -1.0 / 8,    0,  //
+    0, 1, 1,  16, 16, 1.0 / 16,   1.0 / 16,    0,  //
+    0, 1, -1, 32, -32, 1.0 / 32,  -1.0 / 32,   1,  //
+};
+
+/// Derive G from the identity A^T[(G g) .* (B^T d)] = corr(g, d).
+/// For each filter basis vector e_k this is an overdetermined linear system in
+/// the k-th column of G; any inconsistency shows up in the residual.
+void derive_g(WinogradTransform& t) {
+  const int m = t.m;
+  const int r = t.r;
+  const int n = t.n();
+
+  t.g.assign(static_cast<std::size_t>(n) * r, 0.0);
+  double worst = 0.0;
+
+  for (int k = 0; k < r; ++k) {
+    // Stack equations over all data basis vectors e_j: m rows each.
+    Mat a(static_cast<std::size_t>(m) * n, n);
+    std::vector<double> b(static_cast<std::size_t>(m) * n, 0.0);
+    for (int j = 0; j < n; ++j) {
+      // B^T e_j is column j of B^T.
+      for (int i = 0; i < m; ++i) {
+        const std::size_t row = static_cast<std::size_t>(j) * m + i;
+        for (int s = 0; s < n; ++s) {
+          a(row, s) = t.at[static_cast<std::size_t>(i) * n + s] *
+                      t.bt[static_cast<std::size_t>(s) * n + j];
+        }
+        // Correlation: y_i(e_k, e_j) = 1 iff i + k == j.
+        b[row] = (i + k == j) ? 1.0 : 0.0;
+      }
+    }
+    std::vector<double> col = least_squares(a, b);
+    worst = std::max(worst, residual_inf(a, col, b));
+    for (int s = 0; s < n; ++s) {
+      t.g[static_cast<std::size_t>(s) * r + k] = col[s];
+    }
+  }
+  t.derivation_residual = worst;
+}
+
+WinogradTransform build(int m) {
+  WinogradTransform t;
+  t.m = m;
+  t.r = 3;
+  const int n = t.n();
+  const double* bt = nullptr;
+  const double* at = nullptr;
+  switch (m) {
+    case 2: bt = kBt2; at = kAt2; break;
+    case 4: bt = kBt4; at = kAt4; break;
+    case 6: bt = kBt6; at = kAt6; break;
+    default:
+      throw std::invalid_argument("winograd: only F(2,3), F(4,3), F(6,3)");
+  }
+  t.bt.assign(bt, bt + static_cast<std::size_t>(n) * n);
+  t.at.assign(at, at + static_cast<std::size_t>(m) * n);
+  derive_g(t);
+  if (t.derivation_residual > 1e-8) {
+    throw std::runtime_error("winograd: transform derivation inconsistent");
+  }
+  return t;
+}
+
+/// out(rows_a x cols_b) = A(rows_a x inner) * B(inner x cols_b), double accum.
+void dgemm_small(const double* a, int rows_a, int inner, const float* b,
+                 int cols_b, double* out) {
+  for (int i = 0; i < rows_a; ++i) {
+    for (int j = 0; j < cols_b; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < inner; ++k) {
+        s += a[i * inner + k] * static_cast<double>(b[k * cols_b + j]);
+      }
+      out[i * cols_b + j] = s;
+    }
+  }
+}
+
+void dgemm_small_dd(const double* a, int rows_a, int inner, const double* b,
+                    int cols_b, double* out) {
+  for (int i = 0; i < rows_a; ++i) {
+    for (int j = 0; j < cols_b; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < inner; ++k) s += a[i * inner + k] * b[k * cols_b + j];
+      out[i * cols_b + j] = s;
+    }
+  }
+}
+
+/// out = T * X * T^T where T is rows x cols and X is cols x cols.
+void sandwich(const double* t_mat, int rows, int cols, const float* x,
+              float* out) {
+  std::vector<double> tmp(static_cast<std::size_t>(rows) * cols);
+  dgemm_small(t_mat, rows, cols, x, cols, tmp.data());
+  // out = tmp * T^T  -> out[i][j] = sum_k tmp[i][k] * T[j][k]
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < rows; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < cols; ++k) {
+        s += tmp[static_cast<std::size_t>(i) * cols + k] * t_mat[j * cols + k];
+      }
+      out[static_cast<std::size_t>(i) * rows + j] = static_cast<float>(s);
+    }
+  }
+}
+
+}  // namespace
+
+const WinogradTransform& winograd_transform(int m) {
+  static std::map<int, WinogradTransform> cache;
+  auto it = cache.find(m);
+  if (it == cache.end()) it = cache.emplace(m, build(m)).first;
+  return it->second;
+}
+
+void wino_transform_input(const WinogradTransform& t, const float* d, float* v) {
+  sandwich(t.bt.data(), t.n(), t.n(), d, v);
+}
+
+void wino_transform_weight(const WinogradTransform& t, const float* g, float* u) {
+  // U = G g G^T: G is n x r, g is r x r -> U is n x n.
+  const int n = t.n();
+  const int r = t.r;
+  std::vector<double> tmp(static_cast<std::size_t>(n) * r);
+  dgemm_small(t.g.data(), n, r, g, r, tmp.data());
+  std::vector<double> gt(static_cast<std::size_t>(r) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < r; ++j) gt[static_cast<std::size_t>(j) * n + i] = t.g[static_cast<std::size_t>(i) * r + j];
+  }
+  std::vector<double> out(static_cast<std::size_t>(n) * n);
+  dgemm_small_dd(tmp.data(), n, r, gt.data(), n, out.data());
+  for (int i = 0; i < n * n; ++i) u[i] = static_cast<float>(out[i]);
+}
+
+void wino_transform_output(const WinogradTransform& t, const float* m_tile,
+                           float* y) {
+  sandwich(t.at.data(), t.m, t.n(), m_tile, y);
+}
+
+double wino_identity_error(const WinogradTransform& t, int trials,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  const int n = t.n();
+  const int m = t.m;
+  const int r = t.r;
+  double worst = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> g(r), d(n);
+    for (auto& x : g) x = rng.uniform(-1.0f, 1.0f);
+    for (auto& x : d) x = rng.uniform(-1.0f, 1.0f);
+    // u = G g ; v = B^T d ; y = A^T (u .* v)
+    std::vector<double> u(n, 0.0), v(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < r; ++k) u[i] += t.g[static_cast<std::size_t>(i) * r + k] * g[k];
+      for (int j = 0; j < n; ++j) v[i] += t.bt[static_cast<std::size_t>(i) * n + j] * d[j];
+    }
+    for (int i = 0; i < m; ++i) {
+      double y = 0.0;
+      for (int s = 0; s < n; ++s) {
+        y += t.at[static_cast<std::size_t>(i) * n + s] * u[s] * v[s];
+      }
+      double expect = 0.0;
+      for (int k = 0; k < r; ++k) expect += g[k] * d[i + k];
+      worst = std::max(worst, std::fabs(y - expect));
+    }
+  }
+  return worst;
+}
+
+}  // namespace vlacnn

@@ -1,0 +1,328 @@
+// Correctness of the four convolution kernels against the scalar reference,
+// swept over layer shapes and vector lengths (TEST_P), plus algorithm-specific
+// behaviours: strategy switching, blocking, applicability, sampled-simulation
+// consistency.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algos/direct.h"
+#include "algos/winograd.h"
+#include "algos/reference.h"
+#include "algos/registry.h"
+#include "common/rng.h"
+
+namespace vlacnn {
+namespace {
+
+std::vector<float> random_weights(const ConvLayerDesc& d, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> w(d.weight_elems());
+  fill_uniform(rng, w.data(), w.size(), -1.0f, 1.0f);
+  return w;
+}
+
+Tensor random_input(const ConvLayerDesc& d, std::uint64_t seed) {
+  Rng rng(seed ^ 0xabcdef);
+  Tensor in(d.ic, d.ih, d.iw);
+  in.fill_random(rng);
+  return in;
+}
+
+void expect_matches_reference(Algo a, const ConvLayerDesc& d,
+                              const VpuConfig& vpu, float rel_tol) {
+  const Tensor in = random_input(d, 11);
+  const auto w = random_weights(d, 22);
+  const Tensor ref = conv_reference(d, in, w);
+  const Tensor got = conv_functional(a, d, in, w, vpu);
+  const float err = max_abs_diff(ref, got);
+  const float scale = max_abs(ref) + 1.0f;
+  EXPECT_LE(err, rel_tol * scale)
+      << to_string(a) << " on " << d.to_string() << " vlen=" << vpu.vlen_bits;
+}
+
+// ------------------------- parameterized shape x algo x vlen sweep ---------
+
+struct ShapeCase {
+  const char* name;
+  ConvLayerDesc desc;
+};
+
+const ShapeCase kShapes[] = {
+    {"rgb_3x3_pad", {3, 18, 20, 8, 3, 3, 1, 1}},
+    {"mid_3x3_pad", {12, 13, 13, 10, 3, 3, 1, 1}},
+    {"deep_3x3", {32, 9, 9, 24, 3, 3, 1, 1}},
+    {"nopad_3x3", {5, 14, 10, 6, 3, 3, 1, 0}},
+    {"stride2_3x3", {6, 17, 15, 9, 3, 3, 2, 1}},
+    {"one_by_one", {16, 11, 11, 12, 1, 1, 1, 0}},
+    {"five_by_five", {4, 16, 16, 5, 5, 5, 1, 2}},
+    {"tall_input", {3, 31, 7, 4, 3, 3, 1, 1}},
+    {"tiny_spatial", {20, 6, 6, 20, 3, 3, 1, 1}},
+    {"stride2_1x1", {8, 12, 12, 8, 1, 1, 2, 0}},
+};
+
+class ConvAlgoTest
+    : public ::testing::TestWithParam<
+          std::tuple<int /*shape idx*/, Algo, std::uint32_t /*vlen*/>> {};
+
+TEST_P(ConvAlgoTest, MatchesReference) {
+  const auto [shape_idx, algo, vlen] = GetParam();
+  const ConvLayerDesc d = kShapes[shape_idx].desc;
+  if (!algo_applicable(algo, d)) GTEST_SKIP() << "not applicable";
+  VpuConfig vpu{vlen, 8, VpuAttach::kIntegratedL1};
+  const float tol = algo == Algo::kWinograd ? 5e-4f : 2e-5f;
+  expect_matches_reference(algo, d, vpu, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, ConvAlgoTest,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values(Algo::kDirect, Algo::kGemm3,
+                                         Algo::kGemm6, Algo::kWinograd),
+                       ::testing::Values(512u, 1024u, 4096u)),
+    [](const testing::TestParamInfo<std::tuple<int, Algo, std::uint32_t>>&
+           info) {
+      return std::string(kShapes[std::get<0>(info.param)].name) + "_" +
+             to_string(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ----------------------------------------------------- applicability -------
+
+TEST(Applicability, WinogradOnlyFor3x3Stride1) {
+  EXPECT_TRUE(algo_applicable(Algo::kWinograd,
+                              ConvLayerDesc{4, 8, 8, 4, 3, 3, 1, 1}));
+  EXPECT_FALSE(algo_applicable(Algo::kWinograd,
+                               ConvLayerDesc{4, 8, 8, 4, 3, 3, 2, 1}));
+  EXPECT_FALSE(algo_applicable(Algo::kWinograd,
+                               ConvLayerDesc{4, 8, 8, 4, 1, 1, 1, 0}));
+  EXPECT_FALSE(algo_applicable(Algo::kWinograd,
+                               ConvLayerDesc{4, 8, 8, 4, 5, 5, 1, 2}));
+  for (Algo a : {Algo::kDirect, Algo::kGemm3, Algo::kGemm6}) {
+    EXPECT_TRUE(algo_applicable(a, ConvLayerDesc{4, 8, 8, 4, 5, 5, 2, 2}));
+  }
+}
+
+TEST(Applicability, SimulateRejectsInapplicable) {
+  SimConfig c = make_sim_config(512, 1u << 20);
+  EXPECT_THROW(
+      conv_simulate(Algo::kWinograd, ConvLayerDesc{4, 8, 8, 4, 1, 1, 1, 0}, c),
+      std::invalid_argument);
+}
+
+TEST(AlgoNames, RoundTrip) {
+  for (Algo a : kAllAlgos) {
+    EXPECT_EQ(algo_from_string(to_string(a)), a);
+  }
+  EXPECT_THROW(algo_from_string("fft"), std::invalid_argument);
+}
+
+// ----------------------------------------------------- direct strategy -----
+
+TEST(DirectStrategy, WideWhenOutputChannelsFillRegister) {
+  // oc >= mvl selects the channel-wide (OC-vectorized) form.
+  EXPECT_TRUE(direct_uses_wide(ConvLayerDesc{64, 8, 8, 32, 3, 3, 1, 1}, 16));
+  EXPECT_FALSE(direct_uses_wide(ConvLayerDesc{3, 8, 8, 8, 3, 3, 1, 1}, 16));
+  // The same layer flips to width-vectorized at longer VLEN.
+  EXPECT_TRUE(direct_uses_wide(ConvLayerDesc{64, 8, 8, 32, 3, 3, 1, 1}, 32));
+  EXPECT_FALSE(direct_uses_wide(ConvLayerDesc{64, 8, 8, 32, 3, 3, 1, 1}, 128));
+}
+
+TEST(DirectStrategy, BothFormsNumericallyCorrect) {
+  // oc = 24: wide at 512-bit (mvl 16), width-vectorized at 2048 (mvl 64).
+  const ConvLayerDesc d{12, 15, 17, 24, 3, 3, 1, 1};
+  EXPECT_TRUE(direct_uses_wide(d, 16));
+  EXPECT_FALSE(direct_uses_wide(d, 64));
+  expect_matches_reference(Algo::kDirect, d, VpuConfig{512, 8}, 2e-5f);
+  expect_matches_reference(Algo::kDirect, d, VpuConfig{2048, 8}, 2e-5f);
+}
+
+// ------------------------------------------------ winograd tile sizes ------
+
+TEST(WinogradTileSize, SmallerTilesAlsoNumericallyCorrect) {
+  // The kernel is parameterized over F(m,3); m=2 and m=4 must convolve
+  // correctly too (used by the tile-size ablation bench).
+  const ConvLayerDesc d{6, 19, 17, 5, 3, 3, 1, 1};
+  const Tensor in = random_input(d, 31);
+  const auto w = random_weights(d, 32);
+  const Tensor ref = conv_reference(d, in, w);
+  VpuConfig vpu{512, 8, VpuAttach::kIntegratedL1};
+  for (int m : {2, 4}) {
+    const int n = m + 2;
+    std::vector<float> u(static_cast<std::size_t>(n) * n * d.oc * d.ic);
+    winograd_prepare_weights(d, w.data(), u.data(), m);
+    FunctionalEngine eng(vpu);
+    Tensor out(d.oc, d.oh(), d.ow());
+    const BufView in_v = eng.bind(in.data(), in.size());
+    const BufView u_v = eng.bind(u.data(), u.size());
+    const BufView out_v = eng.bind(out.data(), out.size());
+    conv_winograd(eng, d, in_v, u_v, out_v, Sampler{}, m);
+    EXPECT_LE(max_abs_diff(ref, out), 1e-4f * (max_abs(ref) + 1.0f))
+        << "m=" << m;
+  }
+}
+
+TEST(WinogradTileSize, LargerTilesDoLessArithmetic) {
+  // The m=6 tile does ~5.06x fewer tuple multiplies than direct; m=2 only
+  // 2.25x. Simulated flops must be ordered accordingly.
+  const ConvLayerDesc d{16, 36, 36, 16, 3, 3, 1, 1};
+  double flops[3];
+  int i = 0;
+  for (int m : {2, 4, 6}) {
+    SimConfig c = make_sim_config(512, 4u << 20);
+    c.sampler.exact = true;
+    MemorySystem mem(c.mem);
+    TimingModel timing(c.vpu, &mem, c.timing);
+    TraceEngine eng(c.vpu, &timing);
+    const int n = m + 2;
+    const BufView in = eng.bind(nullptr, d.in_elems());
+    const BufView u = eng.bind(
+        nullptr, static_cast<std::uint64_t>(n) * n * d.oc * d.ic);
+    const BufView out = eng.bind(nullptr, d.out_elems());
+    conv_winograd(eng, d, in, u, out, c.sampler, m);
+    flops[i++] = timing.stats().flops;
+  }
+  EXPECT_GT(flops[0], flops[1]);
+  EXPECT_GT(flops[1], flops[2]);
+}
+
+// ---------------------------------------------------------- gemm6 ----------
+
+TEST(Gemm6, BlockSizeVariantsAllCorrect) {
+  const ConvLayerDesc d{8, 12, 12, 16, 3, 3, 1, 1};
+  const Tensor in = random_input(d, 5);
+  const auto w = random_weights(d, 6);
+  const Tensor ref = conv_reference(d, in, w);
+  for (Gemm6Blocks blocks : {Gemm6Blocks{4, 32, 8}, Gemm6Blocks{16, 512, 128},
+                             Gemm6Blocks{7, 33, 11}}) {
+    SimConfig cfg;
+    cfg.blocks = blocks;
+    const Tensor got = conv_functional(Algo::kGemm6, d, in, w,
+                                       VpuConfig{512, 8}, nullptr, &cfg);
+    EXPECT_LE(max_abs_diff(ref, got), 1e-4f)
+        << blocks.block_m << "x" << blocks.block_n << "x" << blocks.block_k;
+  }
+}
+
+// ------------------------------------------------- simulation behaviour ----
+
+TEST(Simulation, SampledCloseToExact) {
+  // Sampling is an accuracy/time trade: on a mid-size layer the extrapolated
+  // cycle count must stay within a few percent of the exact simulation at a
+  // moderate budget, and within ~20% even under an extreme 10x extrapolation
+  // (cold-cache compulsory misses get overweighted at the extreme).
+  const ConvLayerDesc d{16, 56, 56, 32, 3, 3, 1, 1};
+  for (Algo a : kAllAlgos) {
+    SimConfig exact = make_sim_config(512, 1u << 20);
+    exact.sampler.exact = true;
+    const double ce = conv_simulate(a, d, exact).cycles;
+
+    SimConfig moderate = make_sim_config(512, 1u << 20);
+    moderate.sampler.max_work = 10'000'000;
+    EXPECT_NEAR(conv_simulate(a, d, moderate).cycles / ce, 1.0, 0.10)
+        << to_string(a) << " moderate";
+
+    SimConfig extreme = make_sim_config(512, 1u << 20);
+    extreme.sampler.max_work = 2'000'000;
+    EXPECT_NEAR(conv_simulate(a, d, extreme).cycles / ce, 1.0, 0.20)
+        << to_string(a) << " extreme";
+  }
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  const ConvLayerDesc d{8, 20, 20, 8, 3, 3, 1, 1};
+  SimConfig c = make_sim_config(1024, 4u << 20);
+  for (Algo a : kAllAlgos) {
+    const double c1 = conv_simulate(a, d, c).cycles;
+    const double c2 = conv_simulate(a, d, c).cycles;
+    EXPECT_DOUBLE_EQ(c1, c2) << to_string(a);
+  }
+}
+
+TEST(Simulation, CyclesScaleWithWork) {
+  // Quadrupling the spatial area must increase cycles substantially.
+  const ConvLayerDesc small{8, 16, 16, 8, 3, 3, 1, 1};
+  const ConvLayerDesc big{8, 32, 32, 8, 3, 3, 1, 1};
+  SimConfig c = make_sim_config(512, 1u << 20);
+  for (Algo a : kAllAlgos) {
+    const double cs = conv_simulate(a, small, c).cycles;
+    const double cb = conv_simulate(a, big, c).cycles;
+    EXPECT_GT(cb, 2.5 * cs) << to_string(a);
+  }
+}
+
+TEST(Simulation, AvgVectorLengthTracksMvl) {
+  // A wide layer should essentially saturate the vector register.
+  const ConvLayerDesc d{64, 32, 32, 32, 3, 3, 1, 1};
+  for (std::uint32_t vlen : {512u, 2048u}) {
+    SimConfig c = make_sim_config(vlen, 4u << 20);
+    const TimingStats s = conv_simulate(Algo::kGemm3, d, c);
+    EXPECT_GT(s.avg_vl(), 0.8 * (vlen / 32.0)) << vlen;
+    EXPECT_LE(s.avg_vl(), vlen / 32.0 + 1e-9);
+  }
+}
+
+TEST(Simulation, FlopsMatchMacs) {
+  // The GEMM kernels do exactly 2*MACs flops (plus a negligible im2col).
+  const ConvLayerDesc d{8, 24, 24, 16, 3, 3, 1, 1};
+  SimConfig c = make_sim_config(512, 4u << 20);
+  c.sampler.exact = true;
+  const TimingStats s = conv_simulate(Algo::kGemm3, d, c);
+  const double macs = static_cast<double>(d.macs());
+  EXPECT_NEAR(s.flops / (2.0 * macs), 1.0, 0.05);
+}
+
+TEST(Simulation, WinogradDoesFewerFlops) {
+  const ConvLayerDesc d{32, 48, 48, 32, 3, 3, 1, 1};
+  SimConfig c = make_sim_config(512, 4u << 20);
+  c.sampler.exact = true;
+  const double wino = conv_simulate(Algo::kWinograd, d, c).flops;
+  const double gemm = conv_simulate(Algo::kGemm3, d, c).flops;
+  EXPECT_LT(wino, 0.6 * gemm);  // ~2.25-5x arithmetic reduction incl transforms
+}
+
+TEST(Simulation, DecoupledDiffersFromIntegrated) {
+  const ConvLayerDesc d{16, 32, 32, 16, 3, 3, 1, 1};
+  SimConfig ci = make_sim_config(512, 1u << 20, 8, VpuAttach::kIntegratedL1);
+  SimConfig cd = make_sim_config(512, 1u << 20, 8, VpuAttach::kDecoupledL2);
+  const double i = conv_simulate(Algo::kGemm3, d, ci).cycles;
+  const double dc = conv_simulate(Algo::kGemm3, d, cd).cycles;
+  EXPECT_NE(i, dc);
+  EXPECT_GT(dc, i);  // every vector access pays the L2 path
+}
+
+TEST(Simulation, HybridFunctionalTimingMatchesTrace) {
+  // Attaching a TimingModel to the functional engine must reproduce the trace
+  // engine's cycle count exactly (same program, same addresses).
+  const ConvLayerDesc d{6, 12, 12, 8, 3, 3, 1, 1};
+  for (Algo a : kAllAlgos) {
+    SimConfig c = make_sim_config(512, 1u << 20);
+    c.sampler.exact = true;  // functional never samples; align the trace
+    const double trace_cycles = conv_simulate(a, d, c).cycles;
+    const Tensor in = random_input(d, 3);
+    const auto w = random_weights(d, 4);
+    TimingStats hybrid;
+    conv_functional(a, d, in, w, c.vpu, &hybrid, &c);
+    EXPECT_DOUBLE_EQ(hybrid.cycles, trace_cycles) << to_string(a);
+  }
+}
+
+// ------------------------------------------------ input validation ---------
+
+TEST(Registry, RejectsBadInputs) {
+  const ConvLayerDesc d{3, 8, 8, 4, 3, 3, 1, 1};
+  Tensor in(3, 8, 8);
+  std::vector<float> w(d.weight_elems());
+  EXPECT_THROW(conv_functional(Algo::kGemm3, d, Tensor(4, 8, 8), w,
+                               VpuConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(conv_functional(Algo::kGemm3, d, in,
+                               std::vector<float>(5), VpuConfig{}),
+               std::invalid_argument);
+  Tensor nhwc(3, 8, 8, Layout::kNHWC);
+  EXPECT_THROW(conv_functional(Algo::kGemm3, d, nhwc, w, VpuConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlacnn

@@ -1,0 +1,281 @@
+// Tests for the utility substrate: RNG, CSV, small linear algebra, Pareto.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "area/pareto.h"
+#include "common/csv.h"
+#include "common/linalg.h"
+#include "common/rng.h"
+
+namespace vlacnn {
+namespace {
+
+// ---------------------------------------------------------------- Rng ------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(n), n);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = rng.uniform(-2.5f, 7.5f);
+    EXPECT_GE(f, -2.5f);
+    EXPECT_LT(f, 7.5f);
+  }
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<std::size_t> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::set<std::size_t> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 9u);
+}
+
+TEST(Rng, FillUniformFillsEverything) {
+  Rng rng(17);
+  std::vector<float> v(64, -100.0f);
+  fill_uniform(rng, v.data(), v.size(), 0.0f, 1.0f);
+  for (float f : v) {
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+// ---------------------------------------------------------------- Csv ------
+
+TEST(Csv, ParseRoundTrip) {
+  CsvTable t = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_EQ(t.header.size(), 3u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][2], "6");
+  EXPECT_EQ(t.column("b"), 1);
+  EXPECT_EQ(t.column("zzz"), -1);
+}
+
+TEST(Csv, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), std::runtime_error);
+}
+
+TEST(Csv, SkipsEmptyLinesAndCarriageReturns) {
+  CsvTable t = parse_csv("a,b\r\n\n1,2\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1");
+}
+
+TEST(Csv, MissingFileGivesEmptyTable) {
+  CsvTable t = read_csv_file("/nonexistent/definitely/not/here.csv");
+  EXPECT_TRUE(t.header.empty());
+  EXPECT_TRUE(t.rows.empty());
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("vlacnn_csv_test_" + std::to_string(::getpid()) + ".csv");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvFileTest, WriteReadRoundTrip) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{"1", "2"}, {"3", "4"}};
+  write_csv_file(path_.string(), t);
+  CsvTable r = read_csv_file(path_.string());
+  EXPECT_EQ(r.header, t.header);
+  EXPECT_EQ(r.rows, t.rows);
+}
+
+TEST_F(CsvFileTest, AppendCreatesHeaderOnce) {
+  append_csv_rows(path_.string(), {"a", "b"}, {{"1", "2"}});
+  append_csv_rows(path_.string(), {"a", "b"}, {{"3", "4"}});
+  CsvTable r = read_csv_file(path_.string());
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[1][1], "4");
+}
+
+TEST_F(CsvFileTest, AppendHeaderMismatchThrows) {
+  append_csv_rows(path_.string(), {"a", "b"}, {{"1", "2"}});
+  EXPECT_THROW(append_csv_rows(path_.string(), {"a", "c"}, {{"3", "4"}}),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------- Linalg ------
+
+TEST(Linalg, MatmulKnown) {
+  Mat a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  Mat b(2, 2);
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  Mat c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Linalg, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Mat(2, 3), Mat(2, 3)), std::invalid_argument);
+}
+
+TEST(Linalg, TransposeInvolution) {
+  Rng rng(1);
+  Mat a(3, 5);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j) a(i, j) = rng.uniform(-1, 1);
+  Mat t = transpose(transpose(a));
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(t(i, j), a(i, j));
+}
+
+TEST(Linalg, SolveRecoverKnownSolution) {
+  Rng rng(2);
+  const std::size_t n = 6;
+  Mat a(n, n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = rng.uniform(-3, 3);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+    a(i, i) += 4.0;  // diagonally dominant
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+  std::vector<double> x = solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Linalg, SolveSingularThrows) {
+  Mat a(2, 2);  // rank 1
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Linalg, LeastSquaresExactForConsistentSystem) {
+  Mat a(4, 2);
+  a(0, 0) = 1; a(0, 1) = 0;
+  a(1, 0) = 0; a(1, 1) = 1;
+  a(2, 0) = 1; a(2, 1) = 1;
+  a(3, 0) = 2; a(3, 1) = -1;
+  std::vector<double> x_true{3.0, -2.0};
+  std::vector<double> b(4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b[i] += a(i, j) * x_true[j];
+  std::vector<double> x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-10);
+  EXPECT_NEAR(x[1], -2.0, 1e-10);
+  EXPECT_LT(residual_inf(a, x, b), 1e-10);
+}
+
+// ------------------------------------------------------------- Pareto ------
+
+TEST(Pareto, SimpleFrontier) {
+  std::vector<ParetoPoint> pts = {
+      {1, 10, 0}, {2, 5, 1}, {3, 7, 2}, {4, 1, 3}, {5, 0.5, 4}, {2, 20, 5}};
+  auto f = pareto_frontier(pts);
+  // Expected frontier: (1,10), (2,5), (4,1), (5,0.5).
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(pts[f[0]].tag, 0u);
+  EXPECT_EQ(pts[f[1]].tag, 1u);
+  EXPECT_EQ(pts[f[2]].tag, 3u);
+  EXPECT_EQ(pts[f[3]].tag, 4u);
+}
+
+TEST(Pareto, FrontierPropertyRandom) {
+  Rng rng(23);
+  std::vector<ParetoPoint> pts;
+  for (std::size_t i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100), i});
+  }
+  auto f = pareto_frontier(pts);
+  std::set<std::size_t> on(f.begin(), f.end());
+  auto dominates = [](const ParetoPoint& a, const ParetoPoint& b) {
+    return a.obj_a <= b.obj_a && a.obj_b <= b.obj_b &&
+           (a.obj_a < b.obj_a || a.obj_b < b.obj_b);
+  };
+  // No frontier point is dominated; every non-frontier point is dominated by
+  // some frontier point.
+  for (std::size_t i : f) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      EXPECT_FALSE(dominates(pts[j], pts[i]))
+          << "frontier point " << i << " dominated by " << j;
+    }
+  }
+  for (std::size_t j = 0; j < pts.size(); ++j) {
+    if (on.count(j)) continue;
+    bool dominated = false;
+    for (std::size_t i : f) dominated |= dominates(pts[i], pts[j]);
+    EXPECT_TRUE(dominated) << "point " << j << " not dominated";
+  }
+}
+
+TEST(Pareto, KneeMinimisesProduct) {
+  std::vector<ParetoPoint> pts = {{1, 100, 0}, {2, 20, 1}, {10, 3, 2}};
+  auto f = pareto_frontier(pts);
+  EXPECT_EQ(pareto_knee(pts, f), 2u);  // products: 100, 40, 30
+}
+
+TEST(Pareto, KneeEmptyFrontierThrows) {
+  std::vector<ParetoPoint> pts;
+  EXPECT_THROW(pareto_knee(pts, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlacnn

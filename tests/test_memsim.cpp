@@ -1,0 +1,194 @@
+// Tests for the set-associative cache model and the two-level hierarchy.
+#include <gtest/gtest.h>
+
+#include "memsim/cache.h"
+#include "memsim/memory_system.h"
+
+namespace vlacnn {
+namespace {
+
+CacheConfig small_cache(std::uint64_t size = 1024, std::uint32_t ways = 2) {
+  return CacheConfig{size, ways, 64, 4};
+}
+
+TEST(Cache, ConfigArithmetic) {
+  CacheConfig c{1u << 20, 8, 64, 20};
+  EXPECT_EQ(c.num_lines(), (1u << 20) / 64);
+  EXPECT_EQ(c.num_sets(), (1u << 20) / 64 / 8);
+}
+
+TEST(Cache, RejectsNonPow2Sets) {
+  // 3 ways of 64B lines in 1024 bytes -> not divisible cleanly.
+  EXPECT_THROW(Cache(CacheConfig{1000, 2, 64, 1}), std::invalid_argument);
+}
+
+TEST(Cache, ColdMissesThenHits) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.probe(0, false).hit);
+  EXPECT_TRUE(c.probe(0, false).hit);
+  EXPECT_EQ(c.accesses(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way cache: lines mapping to the same set evict least-recently-used.
+  Cache c(small_cache(1024, 2));  // 8 sets
+  const std::uint64_t a = 0, b = 8, d = 16;  // all map to set 0
+  c.probe(a, false);
+  c.probe(b, false);
+  c.probe(a, false);       // a is now MRU
+  c.probe(d, false);       // evicts b (LRU)
+  EXPECT_TRUE(c.probe(a, false).hit);
+  EXPECT_FALSE(c.probe(b, false).hit);
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  Cache c(small_cache(1024, 2));
+  c.probe(0, true);   // dirty
+  c.probe(8, false);
+  ProbeResult r = c.probe(16, false);  // evicts line 0 (dirty)
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, CleanEvictionNoWriteback) {
+  Cache c(small_cache(1024, 2));
+  c.probe(0, false);
+  c.probe(8, false);
+  EXPECT_FALSE(c.probe(16, false).writeback);
+}
+
+TEST(Cache, DirtyBitSurvivesMoveToFront) {
+  Cache c(small_cache(1024, 2));
+  c.probe(0, true);    // dirty
+  c.probe(8, false);
+  c.probe(0, false);   // hit, move to front, still dirty
+  c.probe(16, false);  // evicts 8 (clean)
+  ProbeResult r = c.probe(24, false);  // evicts 0 (dirty)
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, StreamLargerThanCacheAllMisses) {
+  Cache c(small_cache(1024, 2));  // 16 lines
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_FALSE(c.probe(i, false).hit);
+  // Second pass still misses: stream exceeded capacity.
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_FALSE(c.probe(i, false).hit);
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 1.0);
+}
+
+TEST(Cache, WorkingSetFittingIsAllHitsAfterWarmup) {
+  Cache c(small_cache(1024, 2));  // 16 lines
+  for (std::uint64_t i = 0; i < 16; ++i) c.probe(i, false);
+  const std::uint64_t misses_before = c.misses();
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t i = 0; i < 16; ++i) EXPECT_TRUE(c.probe(i, false).hit);
+  }
+  EXPECT_EQ(c.misses(), misses_before);
+}
+
+TEST(Cache, ResetClearsContentsAndStats) {
+  Cache c(small_cache());
+  c.probe(1, true);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.probe(1, false).hit);
+}
+
+// ------------------------------------------------------ MemorySystem -------
+
+MemConfig tiny_mem() {
+  MemConfig m;
+  m.l1 = {1024, 2, 64, 4};
+  m.l2 = {4096, 4, 64, 20};
+  m.vbuf = {256, 2, 64, 1};
+  return m;
+}
+
+TEST(MemorySystem, IntegratedRoutesThroughL1) {
+  MemConfig cfg = tiny_mem();
+  cfg.attach = VpuAttach::kIntegratedL1;
+  MemorySystem m(cfg);
+  AccessResult r = m.vector_access(0, 64, false);
+  EXPECT_EQ(r.lines, 1u);
+  EXPECT_EQ(r.l1_misses, 1u);
+  EXPECT_EQ(r.l2_misses, 1u);
+  EXPECT_EQ(m.l1().accesses(), 1u);
+  // Hit in L1 next time: no L2 traffic.
+  const std::uint64_t l2_before = m.l2().accesses();
+  r = m.vector_access(0, 64, false);
+  EXPECT_EQ(r.l1_misses, 0u);
+  EXPECT_EQ(m.l2().accesses(), l2_before);
+}
+
+TEST(MemorySystem, DecoupledBypassesL1) {
+  MemConfig cfg = tiny_mem();
+  cfg.attach = VpuAttach::kDecoupledL2;
+  MemorySystem m(cfg);
+  m.vector_access(0, 256, false);
+  EXPECT_EQ(m.l1().accesses(), 0u);
+  EXPECT_GT(m.vbuf().accesses(), 0u);
+  EXPECT_GT(m.l2().accesses(), 0u);
+}
+
+TEST(MemorySystem, ScalarAlwaysViaL1) {
+  MemConfig cfg = tiny_mem();
+  cfg.attach = VpuAttach::kDecoupledL2;
+  MemorySystem m(cfg);
+  m.scalar_access(0, 4, false);
+  EXPECT_EQ(m.l1().accesses(), 1u);
+}
+
+TEST(MemorySystem, MultiLineAccessCountsAllLines) {
+  MemorySystem m(tiny_mem());
+  AccessResult r = m.vector_access(32, 128, false);  // spans 3 lines
+  EXPECT_EQ(r.lines, 3u);
+}
+
+TEST(MemorySystem, ZeroByteAccessIsNoop) {
+  MemorySystem m(tiny_mem());
+  AccessResult r = m.vector_access(0, 0, false);
+  EXPECT_EQ(r.lines, 0u);
+  EXPECT_EQ(m.l1().accesses(), 0u);
+}
+
+TEST(MemorySystem, MemBytesTracksFillsAndWritebacks) {
+  MemorySystem m(tiny_mem());
+  // Write-stream far beyond both cache capacities: every line is filled once
+  // and eventually written back.
+  for (std::uint64_t a = 0; a < 64 * 1024; a += 64) {
+    m.vector_access(a, 64, true);
+  }
+  EXPECT_GT(m.mem_bytes_total(), 64ull * 1024);  // fills + some writebacks
+}
+
+TEST(MemorySystem, L2HitAfterL1Eviction) {
+  MemConfig cfg = tiny_mem();  // L1 16 lines, L2 64 lines
+  MemorySystem m(cfg);
+  // Touch 32 lines: all fit in L2, half evicted from L1.
+  for (std::uint64_t a = 0; a < 32 * 64; a += 64) m.vector_access(a, 64, false);
+  // Line 0 is gone from L1 but should hit in L2 (no new memory traffic).
+  const std::uint64_t mem_before = m.mem_bytes_total();
+  AccessResult r = m.vector_access(0, 64, false);
+  EXPECT_EQ(r.l1_misses, 1u);
+  EXPECT_EQ(r.l2_misses, 0u);
+  EXPECT_EQ(m.mem_bytes_total(), mem_before);
+}
+
+TEST(MemorySystem, PrefetchWarmsCache) {
+  MemorySystem m(tiny_mem());
+  m.prefetch(0, 64);
+  AccessResult r = m.vector_access(0, 64, false);
+  EXPECT_EQ(r.l1_misses, 0u);
+}
+
+TEST(MemorySystem, ResetRestoresColdState) {
+  MemorySystem m(tiny_mem());
+  m.vector_access(0, 64, false);
+  m.reset();
+  EXPECT_EQ(m.l1().accesses(), 0u);
+  EXPECT_EQ(m.mem_bytes_total(), 0u);
+  EXPECT_EQ(m.vector_access(0, 64, false).l1_misses, 1u);
+}
+
+}  // namespace
+}  // namespace vlacnn

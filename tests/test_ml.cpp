@@ -1,0 +1,201 @@
+// Tests for the decision tree, random forest, and cross-validation machinery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "ml/crossval.h"
+#include "ml/random_forest.h"
+
+namespace vlacnn {
+namespace {
+
+/// Synthetic, perfectly separable dataset: label = (x0 > 0.5) + 2*(x1 > 0.5).
+Dataset separable(std::size_t n, std::uint64_t seed) {
+  Dataset ds;
+  ds.feature_names = {"x0", "x1", "noise"};
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x0 = rng.next_float();
+    const float x1 = rng.next_float();
+    ds.x.push_back({x0, x1, rng.next_float()});
+    ds.y.push_back((x0 > 0.5f ? 1 : 0) + (x1 > 0.5f ? 2 : 0));
+  }
+  return ds;
+}
+
+/// The same with `flip` fraction of labels corrupted.
+Dataset noisy(std::size_t n, double flip, std::uint64_t seed) {
+  Dataset ds = separable(n, seed);
+  Rng rng(seed ^ 0xf00d);
+  for (auto& y : ds.y) {
+    if (rng.next_float() < flip) y = static_cast<int>(rng.next_below(4));
+  }
+  return ds;
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+// ------------------------------------------------------ DecisionTree -------
+
+TEST(DecisionTree, FitsSeparableDataPerfectly) {
+  const Dataset ds = separable(300, 1);
+  DecisionTree tree;
+  Rng rng(2);
+  tree.fit(ds, all_indices(ds.size()), TreeParams{}, rng);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(tree.predict(ds.x[i]), ds.y[i]) << i;
+  }
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  const Dataset ds = noisy(400, 0.3, 3);
+  DecisionTree tree;
+  Rng rng(4);
+  TreeParams p;
+  p.max_depth = 3;
+  tree.fit(ds, all_indices(ds.size()), p, rng);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTree, SingleClassGivesLeafOnly) {
+  Dataset ds;
+  ds.feature_names = {"x"};
+  for (int i = 0; i < 10; ++i) {
+    ds.x.push_back({static_cast<float>(i)});
+    ds.y.push_back(2);
+  }
+  DecisionTree tree;
+  Rng rng(5);
+  tree.fit(ds, all_indices(10), TreeParams{}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict({123.0f}), 2);
+}
+
+TEST(DecisionTree, MinSamplesLeafLimitsSplits) {
+  const Dataset ds = separable(50, 6);
+  DecisionTree loose, strict;
+  Rng r1(7), r2(7);
+  TreeParams p;
+  loose.fit(ds, all_indices(ds.size()), p, r1);
+  p.min_samples_leaf = 20;
+  strict.fit(ds, all_indices(ds.size()), p, r2);
+  EXPECT_LT(strict.node_count(), loose.node_count());
+}
+
+TEST(DecisionTree, ImpurityDecreaseConcentratesOnInformativeFeatures) {
+  const Dataset ds = separable(500, 8);
+  DecisionTree tree;
+  Rng rng(9);
+  tree.fit(ds, all_indices(ds.size()), TreeParams{}, rng);
+  const auto& dec = tree.impurity_decrease();
+  ASSERT_EQ(dec.size(), 3u);
+  EXPECT_GT(dec[0], dec[2]);  // noise feature gets least credit
+  EXPECT_GT(dec[1], dec[2]);
+}
+
+// ------------------------------------------------------ RandomForest -------
+
+TEST(RandomForest, PerfectOnSeparableData) {
+  const Dataset ds = separable(400, 10);
+  RandomForest forest;
+  ForestParams p;
+  p.n_trees = 25;
+  forest.fit(ds, all_indices(ds.size()), p);
+  EXPECT_GE(forest.accuracy(ds, all_indices(ds.size())), 0.99);
+}
+
+TEST(RandomForest, GeneralisesOnNoisyData) {
+  const Dataset train = noisy(600, 0.15, 11);
+  RandomForest forest;
+  ForestParams p;
+  p.n_trees = 40;
+  forest.fit(train, all_indices(train.size()), p);
+  // Evaluate against *clean* labels drawn from the same distribution: the
+  // forest must have learned the underlying rule despite 15% label noise.
+  const Dataset clean = separable(400, 999);
+  EXPECT_GE(forest.accuracy(clean, all_indices(clean.size())), 0.9);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  const Dataset ds = noisy(200, 0.2, 12);
+  ForestParams p;
+  p.n_trees = 10;
+  p.seed = 777;
+  RandomForest a, b;
+  a.fit(ds, all_indices(ds.size()), p);
+  b.fit(ds, all_indices(ds.size()), p);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(a.predict(ds.x[i]), b.predict(ds.x[i]));
+  }
+}
+
+TEST(RandomForest, FeatureImportancesNormalised) {
+  const Dataset ds = separable(300, 13);
+  RandomForest forest;
+  forest.fit(ds, all_indices(ds.size()), ForestParams{});
+  const auto imp = forest.feature_importances();
+  double sum = 0;
+  for (double v : imp) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(imp[0] + imp[1], imp[2]);
+}
+
+TEST(RandomForest, ThrowsOnEmptyTrainingOrUnfitted) {
+  RandomForest forest;
+  Dataset ds = separable(10, 14);
+  EXPECT_THROW(forest.fit(ds, {}, ForestParams{}), std::invalid_argument);
+  EXPECT_THROW(forest.predict({0.0f, 0.0f, 0.0f}), std::logic_error);
+}
+
+// -------------------------------------------------------- crossval ---------
+
+TEST(CrossVal, SplitIsDisjointAndComplete) {
+  const SplitIndices s = train_test_split(100, 0.2, 42);
+  EXPECT_EQ(s.test.size(), 20u);
+  EXPECT_EQ(s.train.size(), 80u);
+  std::set<std::size_t> all(s.train.begin(), s.train.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(CrossVal, SplitValidation) {
+  EXPECT_THROW(train_test_split(10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(train_test_split(10, 1.0, 1), std::invalid_argument);
+}
+
+TEST(CrossVal, FiveFoldOnSeparableIsNearPerfect) {
+  const Dataset ds = separable(400, 15);
+  ForestParams p;
+  p.n_trees = 20;
+  const CrossValResult r = cross_validate(ds, p, 5, 21);
+  ASSERT_EQ(r.fold_accuracy.size(), 5u);
+  EXPECT_GE(r.mean_accuracy, 0.95);
+  EXPECT_LE(r.min_accuracy, r.mean_accuracy);
+  EXPECT_GE(r.max_accuracy, r.mean_accuracy);
+}
+
+TEST(CrossVal, RejectsSingleFold) {
+  const Dataset ds = separable(50, 16);
+  EXPECT_THROW(cross_validate(ds, ForestParams{}, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(CrossVal, NoisyDataAccuracyBetweenChanceAndPerfect) {
+  const Dataset ds = noisy(500, 0.25, 17);
+  ForestParams p;
+  p.n_trees = 30;
+  const CrossValResult r = cross_validate(ds, p, 5, 22);
+  EXPECT_GT(r.mean_accuracy, 0.5);
+  EXPECT_LT(r.mean_accuracy, 0.95);  // label noise caps achievable accuracy
+}
+
+}  // namespace
+}  // namespace vlacnn

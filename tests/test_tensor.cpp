@@ -1,0 +1,152 @@
+// Tests for tensors, layouts, im2col, and the conv-layer descriptor math.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/conv_desc.h"
+#include "tensor/im2col.h"
+#include "tensor/tensor.h"
+
+namespace vlacnn {
+namespace {
+
+TEST(Tensor, IndexingNCHW) {
+  Tensor t(2, 3, 4, Layout::kNCHW);
+  t.at(1, 2, 3) = 42.0f;
+  EXPECT_EQ(t.index(1, 2, 3), static_cast<std::size_t>(1 * 3 * 4 + 2 * 4 + 3));
+  EXPECT_FLOAT_EQ(t.data()[t.index(1, 2, 3)], 42.0f);
+}
+
+TEST(Tensor, IndexingNHWC) {
+  Tensor t(2, 3, 4, Layout::kNHWC);
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t.index(1, 2, 3), static_cast<std::size_t>((2 * 4 + 3) * 2 + 1));
+  EXPECT_FLOAT_EQ(t.data()[t.index(1, 2, 3)], 7.0f);
+}
+
+TEST(Tensor, RejectsBadDims) {
+  EXPECT_THROW(Tensor(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Tensor(1, -1, 1), std::invalid_argument);
+}
+
+TEST(Tensor, LayoutRoundTripPreservesValues) {
+  Rng rng(3);
+  Tensor a(3, 5, 7, Layout::kNCHW);
+  a.fill_random(rng);
+  Tensor b = a.to_layout(Layout::kNHWC).to_layout(Layout::kNCHW);
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0f);
+}
+
+TEST(Tensor, MaxAbsDiffDetectsChange) {
+  Tensor a(1, 2, 2), b(1, 2, 2);
+  b.at(0, 1, 1) = 0.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+  EXPECT_THROW(max_abs_diff(a, Tensor(1, 2, 3)), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndMaxAbs) {
+  Tensor a(2, 2, 2);
+  a.fill(-3.0f);
+  EXPECT_FLOAT_EQ(max_abs(a), 3.0f);
+}
+
+// ----------------------------------------------------------- ConvDesc ------
+
+TEST(ConvDesc, OutputDims) {
+  ConvLayerDesc d{3, 224, 224, 64, 3, 3, 1, 1};
+  EXPECT_EQ(d.oh(), 224);
+  EXPECT_EQ(d.ow(), 224);
+  ConvLayerDesc s2{32, 608, 608, 64, 3, 3, 2, 1};
+  EXPECT_EQ(s2.oh(), 304);
+  ConvLayerDesc k1{64, 304, 304, 32, 1, 1, 1, 0};
+  EXPECT_EQ(k1.oh(), 304);
+  ConvLayerDesc nopad{2, 8, 8, 3, 3, 3, 1, 0};
+  EXPECT_EQ(nopad.oh(), 6);
+}
+
+TEST(ConvDesc, GemmDims) {
+  ConvLayerDesc d{3, 224, 224, 64, 3, 3, 1, 1};
+  EXPECT_EQ(d.gemm_m(), 64u);
+  EXPECT_EQ(d.gemm_k(), 27u);
+  EXPECT_EQ(d.gemm_n(), 224u * 224u);
+  EXPECT_EQ(d.macs(), 64ull * 27 * 224 * 224);
+}
+
+TEST(ConvDesc, ArithmeticIntensityMatchesPaperFormula) {
+  // Paper I Table IV layer L44: M=1024, N=361, K=4608 -> AI = 126.
+  ConvLayerDesc d{512, 19, 19, 1024, 3, 3, 1, 1};
+  EXPECT_EQ(d.gemm_m(), 1024u);
+  EXPECT_EQ(d.gemm_n(), 361u);
+  EXPECT_EQ(d.gemm_k(), 4608u);
+  EXPECT_NEAR(d.arithmetic_intensity(), 126.0, 2.0);
+}
+
+TEST(ConvDesc, Equality) {
+  ConvLayerDesc a{3, 8, 8, 4, 3, 3, 1, 1};
+  ConvLayerDesc b = a;
+  EXPECT_EQ(a, b);
+  b.stride = 2;
+  EXPECT_FALSE(a == b);
+}
+
+// ------------------------------------------------------------ im2col -------
+
+TEST(Im2col, IdentityFor1x1) {
+  // A 1x1 kernel with stride 1 and no padding: column matrix == input.
+  ConvLayerDesc d{2, 3, 3, 1, 1, 1, 1, 0};
+  Rng rng(1);
+  Tensor in(2, 3, 3);
+  in.fill_random(rng);
+  auto col = im2col_nchw(d, in);
+  ASSERT_EQ(col.size(), in.size());
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    EXPECT_FLOAT_EQ(col[i], in.data()[i]);
+  }
+}
+
+TEST(Im2col, ManualSmallCase) {
+  // 1 channel, 3x3 input, 2x2 kernel, stride 1, no pad -> K=4, N=4.
+  ConvLayerDesc d{1, 3, 3, 1, 2, 2, 1, 0};
+  Tensor in(1, 3, 3);
+  for (int i = 0; i < 9; ++i) in.data()[i] = static_cast<float>(i);
+  auto col = im2col_nchw(d, in);
+  // Row (ky=0,kx=0): top-left of each 2x2 window.
+  EXPECT_FLOAT_EQ(col[0 * 4 + 0], 0);
+  EXPECT_FLOAT_EQ(col[0 * 4 + 3], 4);
+  // Row (ky=1,kx=1): bottom-right of each window.
+  EXPECT_FLOAT_EQ(col[3 * 4 + 0], 4);
+  EXPECT_FLOAT_EQ(col[3 * 4 + 3], 8);
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  ConvLayerDesc d{1, 2, 2, 1, 3, 3, 1, 1};
+  Tensor in(1, 2, 2);
+  in.fill(5.0f);
+  auto col = im2col_nchw(d, in);
+  // First row (ky=0,kx=0) first column corresponds to input (-1,-1): zero.
+  EXPECT_FLOAT_EQ(col[0], 0.0f);
+  // Center tap (ky=1,kx=1) has no padding at output (0,0).
+  EXPECT_FLOAT_EQ(col[4 * d.gemm_n() + 0], 5.0f);
+}
+
+TEST(Im2col, StridedSelectsAlternateColumns) {
+  ConvLayerDesc d{1, 5, 5, 1, 1, 1, 2, 0};
+  Tensor in(1, 5, 5);
+  for (int i = 0; i < 25; ++i) in.data()[i] = static_cast<float>(i);
+  auto col = im2col_nchw(d, in);
+  ASSERT_EQ(col.size(), 9u);  // 3x3 outputs
+  EXPECT_FLOAT_EQ(col[0], 0);
+  EXPECT_FLOAT_EQ(col[1], 2);
+  EXPECT_FLOAT_EQ(col[4], 12);  // center
+  EXPECT_FLOAT_EQ(col[8], 24);
+}
+
+TEST(Im2col, ShapeValidation) {
+  ConvLayerDesc d{2, 4, 4, 1, 3, 3, 1, 1};
+  Tensor wrong_layout(2, 4, 4, Layout::kNHWC);
+  EXPECT_THROW(im2col_nchw(d, wrong_layout), std::invalid_argument);
+  Tensor wrong_shape(2, 5, 4);
+  EXPECT_THROW(im2col_nchw(d, wrong_shape), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlacnn

@@ -1,0 +1,141 @@
+// Tests for the Winograd transform generation, its algebraic identity, and the
+// numerical-accuracy motivation for fixing the tile at 8x8 (Paper I, IV.B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "wino/transforms.h"
+
+namespace vlacnn {
+namespace {
+
+TEST(WinoTransforms, SupportedSizesConstruct) {
+  for (int m : {2, 4, 6}) {
+    const WinogradTransform& t = winograd_transform(m);
+    EXPECT_EQ(t.m, m);
+    EXPECT_EQ(t.r, 3);
+    EXPECT_EQ(t.n(), m + 2);
+    EXPECT_EQ(t.at.size(), static_cast<std::size_t>(m) * (m + 2));
+    EXPECT_EQ(t.g.size(), static_cast<std::size_t>(m + 2) * 3);
+    EXPECT_EQ(t.bt.size(), static_cast<std::size_t>(m + 2) * (m + 2));
+  }
+}
+
+TEST(WinoTransforms, UnsupportedSizeThrows) {
+  EXPECT_THROW(winograd_transform(3), std::invalid_argument);
+  EXPECT_THROW(winograd_transform(8), std::invalid_argument);
+}
+
+TEST(WinoTransforms, DerivationResidualIsMachinePrecision) {
+  for (int m : {2, 4, 6}) {
+    EXPECT_LT(winograd_transform(m).derivation_residual, 1e-10) << "m=" << m;
+  }
+}
+
+TEST(WinoTransforms, OneDimensionalIdentityHolds) {
+  for (int m : {2, 4, 6}) {
+    const double err = wino_identity_error(winograd_transform(m), 500, 99);
+    EXPECT_LT(err, 1e-12) << "m=" << m;
+  }
+}
+
+TEST(WinoTransforms, CachedInstanceIsStable) {
+  const WinogradTransform& a = winograd_transform(6);
+  const WinogradTransform& b = winograd_transform(6);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(WinoTransforms, KnownG6FirstRow) {
+  // The F(6,3) filter transform's first row must be (1, 0, 0): the point-0
+  // evaluation of the filter polynomial.
+  const WinogradTransform& t = winograd_transform(6);
+  EXPECT_NEAR(t.g[0], 1.0, 1e-12);
+  EXPECT_NEAR(t.g[1], 0.0, 1e-12);
+  EXPECT_NEAR(t.g[2], 0.0, 1e-12);
+}
+
+/// Full 2-D tile convolution via the transforms vs. a direct correlation.
+double tile_conv_error(int m, std::uint64_t seed) {
+  const WinogradTransform& t = winograd_transform(m);
+  const int n = t.n();
+  Rng rng(seed);
+  std::vector<float> d(static_cast<std::size_t>(n) * n);
+  float g[9];
+  for (auto& v : d) v = rng.uniform(-1, 1);
+  for (auto& v : g) v = rng.uniform(-1, 1);
+
+  std::vector<float> v_tile(static_cast<std::size_t>(n) * n);
+  std::vector<float> u_tile(static_cast<std::size_t>(n) * n);
+  wino_transform_input(t, d.data(), v_tile.data());
+  wino_transform_weight(t, g, u_tile.data());
+  std::vector<float> m_tile(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n * n; ++i) m_tile[i] = u_tile[i] * v_tile[i];
+  std::vector<float> y(static_cast<std::size_t>(m) * m);
+  wino_transform_output(t, m_tile.data(), y.data());
+
+  double worst = 0.0;
+  for (int oy = 0; oy < m; ++oy) {
+    for (int ox = 0; ox < m; ++ox) {
+      double expect = 0.0;
+      for (int ky = 0; ky < 3; ++ky) {
+        for (int kx = 0; kx < 3; ++kx) {
+          expect += static_cast<double>(g[ky * 3 + kx]) *
+                    d[static_cast<std::size_t>(oy + ky) * n + ox + kx];
+        }
+      }
+      worst = std::max(worst,
+                       std::fabs(y[static_cast<std::size_t>(oy) * m + ox] -
+                                 expect));
+    }
+  }
+  return worst;
+}
+
+TEST(WinoTransforms, TwoDimensionalTileConvolutionCorrect) {
+  for (int m : {2, 4, 6}) {
+    double worst = 0.0;
+    for (std::uint64_t s = 0; s < 20; ++s) {
+      worst = std::max(worst, tile_conv_error(m, 1000 + s));
+    }
+    EXPECT_LT(worst, 1e-4) << "m=" << m;
+  }
+}
+
+TEST(WinoTransforms, ErrorGrowsWithTileSize) {
+  // The motivation for capping tiles at 8x8: fp32 error grows with m because
+  // the transform coefficients' dynamic range explodes. Average over many
+  // trials to make the ordering robust.
+  double avg[3] = {0, 0, 0};
+  const int trials = 50;
+  int mi = 0;
+  for (int m : {2, 4, 6}) {
+    for (std::uint64_t s = 0; s < trials; ++s) {
+      avg[mi] += tile_conv_error(m, 555 + s);
+    }
+    avg[mi] /= trials;
+    ++mi;
+  }
+  EXPECT_LT(avg[0], avg[1]);
+  EXPECT_LT(avg[1], avg[2]);
+}
+
+TEST(WinoTransforms, WeightTransformOfDeltaKernel) {
+  // A delta kernel (1 at the top-left tap) keeps the convolution a shift;
+  // U = G e G^T must reproduce the outer product of G's first column.
+  const WinogradTransform& t = winograd_transform(4);
+  const int n = t.n();
+  float g[9] = {1, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<float> u(static_cast<std::size_t>(n) * n);
+  wino_transform_weight(t, g, u.data());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double expect = t.g[static_cast<std::size_t>(i) * 3] *
+                            t.g[static_cast<std::size_t>(j) * 3];
+      EXPECT_NEAR(u[static_cast<std::size_t>(i) * n + j], expect, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vlacnn
