@@ -39,11 +39,16 @@ namespace {
 
 constexpr double kClockHz = 2.0e9;  // both papers simulate 2 GHz cores
 
+const std::vector<Algo> kAlgoVec(kAllAlgos.begin(), kAllAlgos.end());
+
 /// Per-layer rows for every algorithm (gemm6 fallback where inapplicable).
 std::vector<std::vector<SweepRow>> all_algo_rows(Env& env, const Network& net,
                                                  std::uint32_t vlen,
                                                  std::uint64_t l2,
                                                  VpuAttach attach) {
+  // One parallel fan-out over the full layer x algorithm block, then cheap
+  // per-algorithm cache hits.
+  env.driver->prefetch(net, kAlgoVec, {vlen}, {l2}, 8, attach);
   std::vector<std::vector<SweepRow>> per_algo;
   for (Algo a : kAllAlgos) {
     per_algo.push_back(env.driver->network_rows(net, a, vlen, l2, 8, attach));
@@ -85,6 +90,7 @@ void vlen_scaling_figure(Env& env, const Network& net,
                          std::uint64_t l2, VpuAttach attach) {
   std::printf("\n%s, L2=%s: per-layer speedup over the %u-bit baseline\n",
               net.name().c_str(), l2_str(l2).c_str(), vlens.front());
+  env.driver->prefetch(net, kAlgoVec, vlens, {l2}, 8, attach);
   for (Algo a : kAllAlgos) {
     std::printf("\n-- %s --\n%5s %-26s", to_string(a), "layer", "dimensions");
     for (std::uint32_t v : vlens) std::printf(" %6u", v);
@@ -111,6 +117,7 @@ void l2_scaling_figure(Env& env, const Network& net, std::uint32_t vlen,
                        VpuAttach attach) {
   std::printf("\n%s, VLEN=%u-bit: per-layer speedup over the %s baseline\n",
               net.name().c_str(), vlen, l2_str(l2_sizes.front()).c_str());
+  env.driver->prefetch(net, kAlgoVec, {vlen}, l2_sizes, 8, attach);
   for (Algo a : kAllAlgos) {
     std::printf("\n-- %s --\n%5s %-26s", to_string(a), "layer", "dimensions");
     for (std::uint64_t l2 : l2_sizes) std::printf(" %6s", l2_str(l2).c_str());
@@ -133,7 +140,8 @@ void l2_scaling_figure(Env& env, const Network& net, std::uint32_t vlen,
 
 void selection_figure(Env& env, const Network& net) {
   // Train/predict on the paper's 448-point dataset (both networks, 16 configs)
-  // with held-out 5-fold predictions.
+  // with held-out 5-fold predictions. build_selection_dataset prefetches the
+  // whole grid in parallel; the per-config loops below run on cache hits.
   const std::vector<const Network*> nets{&env.vgg16, &env.yolo20};
   const Dataset ds = build_selection_dataset(*env.driver, nets, paper2_vlens(),
                                              paper2_l2_sizes());

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_parallel.dir/bench_sweep_parallel.cpp.o"
+  "CMakeFiles/bench_sweep_parallel.dir/bench_sweep_parallel.cpp.o.d"
+  "bench_sweep_parallel"
+  "bench_sweep_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

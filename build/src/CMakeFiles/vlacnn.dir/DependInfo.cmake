@@ -21,6 +21,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/csv.cpp" "src/CMakeFiles/vlacnn.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/common/csv.cpp.o.d"
   "/root/repo/src/common/linalg.cpp" "src/CMakeFiles/vlacnn.dir/common/linalg.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/common/linalg.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/CMakeFiles/vlacnn.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/vlacnn.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/common/thread_pool.cpp.o.d"
   "/root/repo/src/core/conv_engine.cpp" "src/CMakeFiles/vlacnn.dir/core/conv_engine.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/core/conv_engine.cpp.o.d"
   "/root/repo/src/core/selector.cpp" "src/CMakeFiles/vlacnn.dir/core/selector.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/core/selector.cpp.o.d"
   "/root/repo/src/memsim/cache.cpp" "src/CMakeFiles/vlacnn.dir/memsim/cache.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/memsim/cache.cpp.o.d"

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_memsim.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_memsim.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_memsim.cpp.o.d"
   "/root/repo/tests/test_ml.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_ml.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_ml.cpp.o.d"
   "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_results_db.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_results_db.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_results_db.cpp.o.d"
   "/root/repo/tests/test_sweep.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_sweep.cpp.o.d"
   "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_tensor.cpp.o.d"
   "/root/repo/tests/test_vpu.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_vpu.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_vpu.cpp.o.d"

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vlacnn_tests.dir/test_ml.cpp.o.d"
   "CMakeFiles/vlacnn_tests.dir/test_net.cpp.o"
   "CMakeFiles/vlacnn_tests.dir/test_net.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_results_db.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_results_db.cpp.o.d"
   "CMakeFiles/vlacnn_tests.dir/test_sweep.cpp.o"
   "CMakeFiles/vlacnn_tests.dir/test_sweep.cpp.o.d"
   "CMakeFiles/vlacnn_tests.dir/test_tensor.cpp.o"

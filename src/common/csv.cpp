@@ -33,33 +33,49 @@ int CsvTable::column(const std::string& name) const {
   return -1;
 }
 
-CsvTable parse_csv(const std::string& text) {
+CsvTable parse_csv(const std::string& text, const CsvReadOptions& opts) {
   CsvTable table;
-  std::istringstream in(text);
-  std::string line;
-  bool first = true;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto fields = split_line(line);
-    if (first) {
-      table.header = std::move(fields);
-      first = false;
-    } else {
-      if (fields.size() != table.header.size()) {
-        throw std::runtime_error("csv: ragged row ('" + line + "')");
-      }
-      table.rows.push_back(std::move(fields));
+  table.complete_tail = text.empty() || text.back() == '\n';
+
+  // Collect non-empty lines with their 1-based line numbers first, so the
+  // ragged-row check below knows which line is last.
+  std::vector<std::pair<std::string, int>> lines;
+  {
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      lines.emplace_back(std::move(line), line_no);
     }
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto fields = split_line(lines[i].first);
+    if (i == 0) {
+      table.header = std::move(fields);
+      continue;
+    }
+    if (fields.size() != table.header.size()) {
+      if (opts.tolerate_partial_tail && i + 1 == lines.size()) {
+        table.dropped_partial_tail = true;
+        break;
+      }
+      throw std::runtime_error("csv: ragged row ('" + lines[i].first + "')");
+    }
+    table.rows.push_back(std::move(fields));
+    table.row_lines.push_back(lines[i].second);
   }
   return table;
 }
 
-CsvTable read_csv_file(const std::string& path) {
+CsvTable read_csv_file(const std::string& path, const CsvReadOptions& opts) {
   std::ifstream in(path);
   if (!in) return {};
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_csv(buf.str());
+  return parse_csv(buf.str(), opts);
 }
 
 namespace {

@@ -16,15 +16,38 @@ struct CsvTable {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
 
+  /// 1-based source line number of each entry in `rows` (header is line 1
+  /// unless blank lines precede it). Parallel to `rows`.
+  std::vector<int> row_lines;
+
+  /// True when lenient parsing skipped a ragged final line (see
+  /// CsvReadOptions::tolerate_partial_tail).
+  bool dropped_partial_tail = false;
+
+  /// True when the input ended with a newline (or was empty). A false value
+  /// means the last line may have been cut mid-write; callers that append to
+  /// the file should treat that final row as suspect.
+  bool complete_tail = true;
+
   /// Index of a column by name; -1 if absent.
   int column(const std::string& name) const;
 };
 
-/// Parse CSV text. Throws std::runtime_error on ragged rows.
-CsvTable parse_csv(const std::string& text);
+struct CsvReadOptions {
+  /// A writer killed mid-append leaves a truncated final line. With this set,
+  /// a final row whose field count does not match the header is dropped (and
+  /// flagged via CsvTable::dropped_partial_tail) instead of throwing. Ragged
+  /// rows anywhere else still throw: those indicate corruption, not a
+  /// truncated append.
+  bool tolerate_partial_tail = false;
+};
+
+/// Parse CSV text. Throws std::runtime_error on ragged rows (subject to
+/// `opts.tolerate_partial_tail` for the final line).
+CsvTable parse_csv(const std::string& text, const CsvReadOptions& opts = {});
 
 /// Read a CSV file; returns empty table if the file does not exist.
-CsvTable read_csv_file(const std::string& path);
+CsvTable read_csv_file(const std::string& path, const CsvReadOptions& opts = {});
 
 /// Serialize and write a table. Creates parent directory if needed.
 void write_csv_file(const std::string& path, const CsvTable& table);

@@ -1,0 +1,62 @@
+// Fixed-size worker pool behind the parallel sweep/serving engine.
+//
+// Two properties matter more than raw queueing throughput here:
+//
+//  * parallel_for is *nesting-safe*: the calling thread participates in its
+//    own loop, so a pool task that itself calls parallel_for (the serving grid
+//    fans out over points, each point fans out over layer x algorithm sweep
+//    requests) degrades to inline execution instead of deadlocking when every
+//    worker is busy.
+//  * Determinism is the caller's job and is easy: parallel_for hands out the
+//    half-open index range [0, n) exactly once each, so writing results into a
+//    pre-sized vector slot per index reproduces the serial order bit-for-bit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vlacnn {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks default_threads(). A pool of size 0 is legal: every
+  /// parallel_for then runs inline on the calling thread.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Fire-and-forget task. Must not throw (exceptions terminate).
+  void submit(std::function<void()> task);
+
+  /// Run fn(0) .. fn(n-1) across the pool and the calling thread; returns when
+  /// all n calls finished. The first exception thrown by any call is rethrown
+  /// on the caller after the loop drains. Safe to call from inside pool tasks.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool used by the sweep and serving engines. Sized by
+  /// default_threads() on first use.
+  static ThreadPool& shared();
+
+  /// VLACNN_THREADS env var if set (>= 1), else hardware_concurrency().
+  static unsigned default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace vlacnn

@@ -28,6 +28,10 @@ Dataset build_selection_dataset(SweepDriver& driver,
   Dataset ds;
   ds.feature_names = {"vlen", "l2_mb", "ic", "ih", "iw", "stride",
                       "pad",  "oc",    "oh", "ow", "kh", "kw"};
+  // Populate the cache for the whole grid in one parallel fan-out; the
+  // labelling loops below then run on hits only.
+  const std::vector<Algo> all(kAllAlgos.begin(), kAllAlgos.end());
+  for (const Network* net : nets) driver.prefetch(*net, all, vlens, l2_sizes);
   for (const Network* net : nets) {
     const auto descs = net->conv_descs();
     for (std::uint32_t vlen : vlens) {

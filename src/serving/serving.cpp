@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.h"
+
 namespace vlacnn {
 
 namespace {
@@ -41,7 +43,11 @@ ServingEval ServingSimulator::evaluate(const Network& net,
 
 std::vector<ServingEval> ServingSimulator::grid(const Network& net,
                                                 std::optional<Algo> fixed) const {
-  std::vector<ServingEval> out;
+  // Enumerate the feasible points first, then evaluate one pool task per
+  // point. Each slot is written by exactly one task, so the output order (and
+  // every number in it) matches the serial nested-loop order bit for bit; the
+  // ResultsDb deduplicates the many points that share (vlen, slice) sweeps.
+  std::vector<ServingPoint> points;
   const int core_counts[] = {1, 4, 16, 64};
   const std::uint64_t l2_sizes[] = {1ull << 20, 4ull << 20, 16ull << 20,
                                     64ull << 20, 256ull << 20};
@@ -50,12 +56,15 @@ std::vector<ServingEval> ServingSimulator::grid(const Network& net,
       for (std::uint64_t l2 : l2_sizes) {
         for (int instances : core_counts) {
           ServingPoint p{cores, vlen, l2, instances};
-          if (!p.feasible()) continue;
-          out.push_back(evaluate(net, p, fixed));
+          if (p.feasible()) points.push_back(p);
         }
       }
     }
   }
+  std::vector<ServingEval> out(points.size());
+  ThreadPool::shared().parallel_for(points.size(), [&](std::size_t i) {
+    out[i] = evaluate(net, points[i], fixed);
+  });
   return out;
 }
 

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
+#include <vector>
 
 #include "common/csv.h"
 
@@ -17,8 +19,11 @@ const std::vector<std::string> kHeader = {
     "cycles",  "avg_vl", "l2_miss_rate", "mem_bytes", "flops"};
 
 std::string fmt(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.9e", v);
+  // %.17g round-trips every IEEE-754 double exactly: a reloaded cache is
+  // bit-identical to the run that wrote it, so near-tie algorithm picks in
+  // network_optimal cannot flip between cold and cached runs.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
 
@@ -45,46 +50,212 @@ std::vector<std::string> to_fields(const SweepRow& r) {
           fmt(r.flops)};
 }
 
+std::string join_fields(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += fields[i];
+  }
+  line += '\n';
+  return line;
+}
+
+// Strict numeric parsers: reject trailing junk, which plain std::stoi/stod
+// silently accept ("1.2e" truncated from "1.2e+07" must not parse as 1.2).
+int field_int(const std::string& s) {
+  std::size_t pos = 0;
+  const int v = std::stoi(s, &pos);
+  if (pos != s.size()) {
+    throw std::invalid_argument("trailing characters in integer '" + s + "'");
+  }
+  return v;
+}
+
+std::uint64_t field_u64(const std::string& s) {
+  std::size_t pos = 0;
+  const unsigned long long v = std::stoull(s, &pos);
+  if (pos != s.size()) {
+    throw std::invalid_argument("trailing characters in integer '" + s + "'");
+  }
+  return v;
+}
+
+double field_double(const std::string& s) {
+  std::size_t pos = 0;
+  const double v = std::stod(s, &pos);
+  if (pos != s.size()) {
+    throw std::invalid_argument("trailing characters in number '" + s + "'");
+  }
+  return v;
+}
+
+SweepRow row_from_fields(const std::vector<std::string>& f) {
+  SweepRow r;
+  r.key.net = f[0];
+  r.key.layer = field_int(f[1]);
+  r.key.algo = algo_from_string(f[2]);
+  r.key.vlen_bits = static_cast<std::uint32_t>(field_u64(f[3]));
+  r.key.l2_bytes = field_u64(f[4]);
+  r.key.lanes = static_cast<std::uint32_t>(field_u64(f[5]));
+  if (f[6] != "int" && f[6] != "dec") {
+    throw std::invalid_argument("bad attach '" + f[6] + "'");
+  }
+  r.key.attach = f[6] == "int" ? VpuAttach::kIntegratedL1
+                               : VpuAttach::kDecoupledL2;
+  r.desc = ConvLayerDesc{field_int(f[7]),  field_int(f[8]),  field_int(f[9]),
+                         field_int(f[10]), field_int(f[11]), field_int(f[12]),
+                         field_int(f[13]), field_int(f[14])};
+  r.cycles = field_double(f[15]);
+  r.avg_vl = field_double(f[16]);
+  r.l2_miss_rate = field_double(f[17]);
+  r.mem_bytes = field_double(f[18]);
+  r.flops = field_double(f[19]);
+  return r;
+}
+
 }  // namespace
 
 ResultsDb::ResultsDb(std::string path) : path_(std::move(path)) {
-  CsvTable t = read_csv_file(path_);
+  CsvReadOptions opts;
+  opts.tolerate_partial_tail = true;
+  CsvTable t = read_csv_file(path_, opts);
   if (t.header.empty()) return;
   if (t.header != kHeader) {
     throw std::runtime_error("results_db: incompatible cache file " + path_ +
                              " (delete it to regenerate)");
   }
-  for (const auto& f : t.rows) {
+  bool heal = t.dropped_partial_tail;
+  if (!t.complete_tail && !t.dropped_partial_tail && !t.rows.empty()) {
+    // Right field count but no trailing newline: the final field may have been
+    // cut mid-write (put() flushes whole lines, so only a crash produces
+    // this). Drop the row; it will be recomputed on demand.
+    t.rows.pop_back();
+    t.row_lines.pop_back();
+    heal = true;
+  }
+  for (std::size_t i = 0; i < t.rows.size(); ++i) {
     SweepRow r;
-    r.key.net = f[0];
-    r.key.layer = std::stoi(f[1]);
-    r.key.algo = algo_from_string(f[2]);
-    r.key.vlen_bits = static_cast<std::uint32_t>(std::stoul(f[3]));
-    r.key.l2_bytes = std::stoull(f[4]);
-    r.key.lanes = static_cast<std::uint32_t>(std::stoul(f[5]));
-    r.key.attach =
-        f[6] == "int" ? VpuAttach::kIntegratedL1 : VpuAttach::kDecoupledL2;
-    r.desc = ConvLayerDesc{std::stoi(f[7]),  std::stoi(f[8]),  std::stoi(f[9]),
-                           std::stoi(f[10]), std::stoi(f[11]), std::stoi(f[12]),
-                           std::stoi(f[13]), std::stoi(f[14])};
-    r.cycles = std::stod(f[15]);
-    r.avg_vl = std::stod(f[16]);
-    r.l2_miss_rate = std::stod(f[17]);
-    r.mem_bytes = std::stod(f[18]);
-    r.flops = std::stod(f[19]);
+    try {
+      r = row_from_fields(t.rows[i]);
+    } catch (const std::exception& e) {
+      if (i + 1 == t.rows.size()) {
+        // A truncated final line can keep the right field count; treat an
+        // unparseable last row like a partial tail and recompute it later.
+        heal = true;
+        break;
+      }
+      throw std::runtime_error("results_db: " + path_ + ":" +
+                               std::to_string(t.row_lines[i]) + ": " +
+                               e.what() + " (delete the file to regenerate)");
+    }
     rows_[r.key] = r;
+  }
+  if (heal) {
+    // Rewrite the file from the surviving rows so the partial tail does not
+    // corrupt subsequent appends.
+    CsvTable clean;
+    clean.header = kHeader;
+    for (const auto& [key, row] : rows_) clean.rows.push_back(to_fields(row));
+    write_csv_file(path_, clean);
+    healed_on_load_ = true;
   }
 }
 
 std::optional<SweepRow> ResultsDb::find(const SweepKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = rows_.find(key);
   if (it == rows_.end()) return std::nullopt;
   return it->second;
 }
 
+std::size_t ResultsDb::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rows_.size();
+}
+
+void ResultsDb::persist_locked(const SweepRow& row) {
+  if (!out_.is_open()) {
+    // Lazy open keeps a read-only ResultsDb from creating files. Header and
+    // row boundaries were validated at load, so appending is safe.
+    std::error_code ec;
+    const auto existing_size = std::filesystem::file_size(path_, ec);
+    const bool fresh = ec || existing_size == 0;
+    if (fresh) {
+      CsvTable empty;
+      empty.header = kHeader;
+      write_csv_file(path_, empty);  // creates parent dir + header
+    }
+    out_.open(path_, std::ios::app);
+    if (!out_) {
+      throw std::runtime_error("results_db: cannot append " + path_);
+    }
+  }
+  // One complete line per write, flushed immediately: a crash can truncate at
+  // most the final line, which the loader tolerates.
+  const std::string line = join_fields(to_fields(row));
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.flush();
+}
+
 void ResultsDb::put(const SweepRow& row) {
+  std::lock_guard<std::mutex> lk(mu_);
   rows_[row.key] = row;
-  append_csv_rows(path_, kHeader, {to_fields(row)});
+  persist_locked(row);
+}
+
+SweepRow ResultsDb::get_or_compute(const SweepKey& key,
+                                   const std::function<SweepRow()>& compute) {
+  std::shared_ptr<InFlight> flight;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      if (auto it = rows_.find(key); it != rows_.end()) return it->second;
+      auto fit = inflight_.find(key);
+      if (fit == inflight_.end()) {
+        flight = std::make_shared<InFlight>();
+        inflight_.emplace(key, flight);
+        break;  // this thread is the leader
+      }
+      // Another thread is computing this key: wait for it, then re-check.
+      std::shared_ptr<InFlight> theirs = fit->second;
+      lk.unlock();
+      {
+        std::unique_lock<std::mutex> flk(theirs->m);
+        theirs->cv.wait(flk, [&] { return theirs->done; });
+        if (theirs->err) std::rethrow_exception(theirs->err);
+      }
+      lk.lock();
+    }
+  }
+
+  SweepRow row;
+  std::exception_ptr err;
+  try {
+    row = compute();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!err) {
+      try {
+        rows_[key] = row;
+        persist_locked(row);
+      } catch (...) {
+        rows_.erase(key);
+        err = std::current_exception();
+      }
+    }
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> flk(flight->m);
+    flight->err = err;
+    flight->done = true;
+    flight->cv.notify_all();
+  }
+  if (err) std::rethrow_exception(err);
+  return row;
 }
 
 std::string default_results_path() {

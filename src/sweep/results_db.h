@@ -2,9 +2,25 @@
 // binaries. The co-design figures all draw from the same (network x layer x
 // algorithm x vlen x L2) grid; the first bench to need a point computes and
 // appends it, later ones read it back.
+//
+// The store is safe for concurrent use by the parallel sweep engine:
+//  * every public method is internally synchronized;
+//  * get_or_compute() deduplicates in-flight work per key (single-flight):
+//    when several threads ask for the same uncomputed key, exactly one runs
+//    the compute function and the rest block for its result;
+//  * doubles are persisted with %.17g, so a reloaded cache is bit-identical
+//    to the run that produced it;
+//  * rows are appended to disk as complete single lines and flushed, so a
+//    crash can lose at most one partial trailing line — which the loader
+//    detects, drops, and heals by rewriting the file.
 #pragma once
 
+#include <condition_variable>
+#include <fstream>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -39,20 +55,45 @@ struct SweepRow {
   double flops = 0;
 };
 
-/// CSV-backed store. Loads existing rows at construction; put() appends both in
-/// memory and on disk.
+/// CSV-backed, thread-safe store. Loads existing rows at construction; put()
+/// and get_or_compute() append both in memory and on disk.
 class ResultsDb {
  public:
   explicit ResultsDb(std::string path);
 
   std::optional<SweepRow> find(const SweepKey& key) const;
   void put(const SweepRow& row);
-  std::size_t size() const { return rows_.size(); }
+
+  /// The cached row for `key`, computing (and persisting) it via `compute` on
+  /// a miss. Concurrent callers with the same key trigger exactly one compute;
+  /// the others wait and share the result. If the compute throws, the
+  /// exception propagates to every caller waiting on that key.
+  SweepRow get_or_compute(const SweepKey& key,
+                          const std::function<SweepRow()>& compute);
+
+  std::size_t size() const;
   const std::string& path() const { return path_; }
 
+  /// True when construction found (and repaired) a truncated trailing row or
+  /// a file that did not end in a newline.
+  bool healed_on_load() const { return healed_on_load_; }
+
  private:
+  void persist_locked(const SweepRow& row);
+
+  struct InFlight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr err;
+  };
+
   std::string path_;
+  mutable std::mutex mu_;
   std::map<SweepKey, SweepRow> rows_;
+  std::map<SweepKey, std::shared_ptr<InFlight>> inflight_;
+  std::ofstream out_;  ///< lazily opened append writer (guarded by mu_)
+  bool healed_on_load_ = false;
 };
 
 /// REPRO_RESULTS_DIR env var, defaulting to "results" under the current

@@ -1,8 +1,12 @@
 #include "sweep/sweep.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
+
+#include "common/thread_pool.h"
 
 namespace vlacnn {
 
@@ -19,7 +23,17 @@ std::vector<std::uint64_t> paper1_l2_sizes() {
 
 bool repro_exact_mode() {
   const char* v = std::getenv("REPRO_EXACT");
-  return v != nullptr && v[0] == '1';
+  if (v == nullptr) return false;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s.empty() || s == "0" || s == "false" || s == "no" || s == "off") {
+    return false;
+  }
+  throw std::runtime_error("REPRO_EXACT: unrecognized value '" +
+                           std::string(v) +
+                           "' (expected 1/true/yes/on or 0/false/no/off)");
 }
 
 SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
@@ -27,28 +41,62 @@ SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
                           std::uint32_t vlen_bits, std::uint64_t l2_bytes,
                           std::uint32_t lanes, VpuAttach attach) {
   SweepKey key{net_name, conv_ordinal, algo, vlen_bits, l2_bytes, lanes, attach};
-  if (auto hit = db_->find(key)) {
-    if (!(hit->desc == desc)) {
-      throw std::runtime_error(
-          "sweep: cached layer descriptor mismatch for " + net_name +
-          " layer " + std::to_string(conv_ordinal) +
-          " (stale cache? delete " + db_->path() + ")");
-    }
-    return *hit;
+  const SweepRow row = db_->get_or_compute(key, [&] {
+    SimConfig config = make_sim_config(vlen_bits, l2_bytes, lanes, attach);
+    config.sampler.exact = repro_exact_mode();
+    const TimingStats stats = conv_simulate(algo, desc, config);
+    SweepRow r;
+    r.key = key;
+    r.desc = desc;
+    r.cycles = stats.cycles;
+    r.avg_vl = stats.avg_vl();
+    r.l2_miss_rate = stats.l2_miss_rate();
+    r.mem_bytes = stats.mem_bytes;
+    r.flops = stats.flops;
+    return r;
+  });
+  if (!(row.desc == desc)) {
+    throw std::runtime_error(
+        "sweep: cached layer descriptor mismatch for " + net_name +
+        " layer " + std::to_string(conv_ordinal) +
+        " (stale cache? delete " + db_->path() + ")");
   }
-  SimConfig config = make_sim_config(vlen_bits, l2_bytes, lanes, attach);
-  config.sampler.exact = repro_exact_mode();
-  const TimingStats stats = conv_simulate(algo, desc, config);
-  SweepRow row;
-  row.key = key;
-  row.desc = desc;
-  row.cycles = stats.cycles;
-  row.avg_vl = stats.avg_vl();
-  row.l2_miss_rate = stats.l2_miss_rate();
-  row.mem_bytes = stats.mem_bytes;
-  row.flops = stats.flops;
-  db_->put(row);
   return row;
+}
+
+std::vector<SweepRow> SweepDriver::get_many(
+    const std::vector<SweepRequest>& reqs) {
+  std::vector<SweepRow> out(reqs.size());
+  // One task per request; the ResultsDb deduplicates overlapping keys
+  // (single-flight) and indexing by request order keeps the output
+  // deterministic regardless of scheduling.
+  ThreadPool::shared().parallel_for(reqs.size(), [&](std::size_t i) {
+    const SweepRequest& q = reqs[i];
+    out[i] = get(q.net, q.layer, q.desc, q.algo, q.vlen_bits, q.l2_bytes,
+                 q.lanes, q.attach);
+  });
+  return out;
+}
+
+void SweepDriver::prefetch(const Network& net, const std::vector<Algo>& algos,
+                           const std::vector<std::uint32_t>& vlens,
+                           const std::vector<std::uint64_t>& l2_sizes,
+                           std::uint32_t lanes, VpuAttach attach) {
+  const auto descs = net.conv_descs();
+  std::vector<SweepRequest> reqs;
+  reqs.reserve(descs.size() * algos.size() * vlens.size() * l2_sizes.size());
+  for (std::uint32_t vlen : vlens) {
+    for (std::uint64_t l2 : l2_sizes) {
+      for (Algo algo : algos) {
+        for (std::size_t i = 0; i < descs.size(); ++i) {
+          const Algo a = algo_applicable(algo, descs[i]) ? algo : Algo::kGemm6;
+          reqs.push_back({net.name(), static_cast<int>(i), descs[i], a, vlen,
+                          l2, lanes, attach});
+        }
+      }
+    }
+  }
+  get_many(reqs);
 }
 
 std::vector<SweepRow> SweepDriver::network_rows(const Network& net, Algo algo,
@@ -56,14 +104,15 @@ std::vector<SweepRow> SweepDriver::network_rows(const Network& net, Algo algo,
                                                 std::uint64_t l2_bytes,
                                                 std::uint32_t lanes,
                                                 VpuAttach attach) {
-  std::vector<SweepRow> rows;
   const auto descs = net.conv_descs();
+  std::vector<SweepRequest> reqs;
+  reqs.reserve(descs.size());
   for (std::size_t i = 0; i < descs.size(); ++i) {
     const Algo a = algo_applicable(algo, descs[i]) ? algo : Algo::kGemm6;
-    rows.push_back(get(net.name(), static_cast<int>(i), descs[i], a, vlen_bits,
-                       l2_bytes, lanes, attach));
+    reqs.push_back({net.name(), static_cast<int>(i), descs[i], a, vlen_bits,
+                    l2_bytes, lanes, attach});
   }
-  return rows;
+  return get_many(reqs);
 }
 
 double SweepDriver::network_cycles(const Network& net, Algo algo,
@@ -83,23 +132,35 @@ SweepDriver::OptimalResult SweepDriver::network_optimal(const Network& net,
                                                         std::uint64_t l2_bytes,
                                                         std::uint32_t lanes,
                                                         VpuAttach attach) {
-  OptimalResult out;
   const auto descs = net.conv_descs();
+  // Fan out over every applicable (layer, algorithm) point, then reduce
+  // serially in the same layer-major / kAllAlgos order as the serial loop:
+  // identical iteration order means identical tie-breaking, so the parallel
+  // plan is bit-for-bit the serial plan.
+  std::vector<SweepRequest> reqs;
+  std::vector<std::size_t> layer_of;
   for (std::size_t i = 0; i < descs.size(); ++i) {
-    double best = std::numeric_limits<double>::infinity();
-    Algo best_algo = Algo::kGemm6;
     for (Algo a : kAllAlgos) {
       if (!algo_applicable(a, descs[i])) continue;
-      const SweepRow r = get(net.name(), static_cast<int>(i), descs[i], a,
-                             vlen_bits, l2_bytes, lanes, attach);
-      if (r.cycles < best) {
-        best = r.cycles;
-        best_algo = a;
-      }
+      reqs.push_back({net.name(), static_cast<int>(i), descs[i], a, vlen_bits,
+                      l2_bytes, lanes, attach});
+      layer_of.push_back(i);
     }
-    out.plan.push_back(best_algo);
-    out.cycles += best;
   }
+  const std::vector<SweepRow> rows = get_many(reqs);
+
+  OptimalResult out;
+  out.plan.assign(descs.size(), Algo::kGemm6);
+  std::vector<double> best(descs.size(),
+                           std::numeric_limits<double>::infinity());
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    const std::size_t i = layer_of[j];
+    if (rows[j].cycles < best[i]) {
+      best[i] = rows[j].cycles;
+      out.plan[i] = reqs[j].algo;
+    }
+  }
+  for (double b : best) out.cycles += b;
   return out;
 }
 
@@ -112,14 +173,15 @@ double SweepDriver::network_plan_cycles(const Network& net,
   if (plan.size() != descs.size()) {
     throw std::invalid_argument("sweep: plan size mismatch");
   }
-  double total = 0;
+  std::vector<SweepRequest> reqs;
+  reqs.reserve(descs.size());
   for (std::size_t i = 0; i < descs.size(); ++i) {
-    const Algo a =
-        algo_applicable(plan[i], descs[i]) ? plan[i] : Algo::kGemm6;
-    total += get(net.name(), static_cast<int>(i), descs[i], a, vlen_bits,
-                 l2_bytes, lanes, attach)
-                 .cycles;
+    const Algo a = algo_applicable(plan[i], descs[i]) ? plan[i] : Algo::kGemm6;
+    reqs.push_back({net.name(), static_cast<int>(i), descs[i], a, vlen_bits,
+                    l2_bytes, lanes, attach});
   }
+  double total = 0;
+  for (const SweepRow& r : get_many(reqs)) total += r.cycles;
   return total;
 }
 

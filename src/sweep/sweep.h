@@ -2,6 +2,12 @@
 // every figure is built from, and provides the standard grids of Paper II
 // (vlen in {512..4096} x L2 in {1,4,16,64} MB) and Paper I (decoupled VPU,
 // vlen to 16384, L2 to 256 MB).
+//
+// Independent grid points fan out across ThreadPool::shared(): get_many() (and
+// everything built on it — network_rows, network_optimal, prefetch, the
+// serving grid) simulates misses in parallel, deduplicated per key by the
+// thread-safe ResultsDb, and assembles results in deterministic request order,
+// so parallel output is bit-identical to a serial run.
 #pragma once
 
 #include <vector>
@@ -19,16 +25,42 @@ std::vector<std::uint64_t> paper2_l2_sizes();     // 1,4,16,64 MB
 std::vector<std::uint32_t> paper1_vlens();        // 512..16384
 std::vector<std::uint64_t> paper1_l2_sizes();     // 1,8,64,256 MB
 
+/// One (layer, algorithm, hardware) point of the sweep grid.
+struct SweepRequest {
+  std::string net;
+  int layer = 0;
+  ConvLayerDesc desc;
+  Algo algo = Algo::kGemm6;
+  std::uint32_t vlen_bits = 512;
+  std::uint64_t l2_bytes = 1u << 20;
+  std::uint32_t lanes = 8;
+  VpuAttach attach = VpuAttach::kIntegratedL1;
+};
+
 class SweepDriver {
  public:
   explicit SweepDriver(ResultsDb* db) : db_(db) {}
 
   /// Result for one (layer, algo, hardware) point; simulates on cache miss.
-  /// The sampler honours REPRO_EXACT=1.
+  /// The sampler honours REPRO_EXACT (see repro_exact_mode). Thread-safe:
+  /// concurrent calls for the same key run exactly one simulation.
   SweepRow get(const std::string& net_name, int conv_ordinal,
                const ConvLayerDesc& desc, Algo algo, std::uint32_t vlen_bits,
                std::uint64_t l2_bytes, std::uint32_t lanes = 8,
                VpuAttach attach = VpuAttach::kIntegratedL1);
+
+  /// Batch get(): simulates all misses in parallel on the shared pool and
+  /// returns rows in request order (out[i] answers reqs[i]).
+  std::vector<SweepRow> get_many(const std::vector<SweepRequest>& reqs);
+
+  /// Warm the cache for every (conv layer x algo-with-fallback x vlen x L2)
+  /// combination in one parallel fan-out. Figure drivers call this first so
+  /// their serial formatting loops hit a fully populated cache.
+  void prefetch(const Network& net, const std::vector<Algo>& algos,
+                const std::vector<std::uint32_t>& vlens,
+                const std::vector<std::uint64_t>& l2_sizes,
+                std::uint32_t lanes = 8,
+                VpuAttach attach = VpuAttach::kIntegratedL1);
 
   /// All per-layer rows of one network under one hardware point, one row per
   /// conv layer, using `algo` where applicable and gemm6 as fallback.
@@ -64,7 +96,9 @@ class SweepDriver {
   ResultsDb* db_;
 };
 
-/// True when REPRO_EXACT=1 is set (disables sampled simulation).
+/// True when REPRO_EXACT is set to 1/true/yes/on (disables sampled
+/// simulation); false when unset or 0/false/no/off. Any other value throws —
+/// a typo must not silently run the sampled mode.
 bool repro_exact_mode();
 
 }  // namespace vlacnn

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/linalg.h"
@@ -163,7 +164,12 @@ void sandwich(const double* t_mat, int rows, int cols, const float* x,
 }  // namespace
 
 const WinogradTransform& winograd_transform(int m) {
+  // Parallel sweep tasks build Winograd kernels concurrently; the map's node
+  // stability keeps returned references valid across later insertions, the
+  // mutex serializes the lookups themselves.
+  static std::mutex mu;
   static std::map<int, WinogradTransform> cache;
+  std::lock_guard<std::mutex> lk(mu);
   auto it = cache.find(m);
   if (it == cache.end()) it = cache.emplace(m, build(m)).first;
   return it->second;

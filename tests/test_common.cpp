@@ -3,7 +3,9 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <set>
 
@@ -11,6 +13,7 @@
 #include "common/csv.h"
 #include "common/linalg.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace vlacnn {
 namespace {
@@ -108,6 +111,27 @@ TEST(Csv, ParseRoundTrip) {
 
 TEST(Csv, RaggedRowThrows) {
   EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), std::runtime_error);
+}
+
+TEST(Csv, TracksLineNumbersAndTail) {
+  CsvTable t = parse_csv("a,b\n\n1,2\n3,4\n");
+  ASSERT_EQ(t.row_lines.size(), 2u);
+  EXPECT_EQ(t.row_lines[0], 3);  // blank line 2 skipped
+  EXPECT_EQ(t.row_lines[1], 4);
+  EXPECT_TRUE(t.complete_tail);
+  EXPECT_FALSE(parse_csv("a,b\n1,2").complete_tail);
+}
+
+TEST(Csv, LenientModeDropsOnlyPartialFinalLine) {
+  CsvReadOptions opts;
+  opts.tolerate_partial_tail = true;
+  // Truncated final line (too few fields): dropped and flagged.
+  CsvTable t = parse_csv("a,b,c\n1,2,3\n4,5", opts);
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_TRUE(t.dropped_partial_tail);
+  EXPECT_FALSE(t.complete_tail);
+  // A ragged row in the middle is corruption, not a torn append: still throws.
+  EXPECT_THROW(parse_csv("a,b\n1\n3,4\n", opts), std::runtime_error);
 }
 
 TEST(Csv, SkipsEmptyLinesAndCarriageReturns) {
@@ -275,6 +299,55 @@ TEST(Pareto, KneeMinimisesProduct) {
 TEST(Pareto, KneeEmptyFrontierThrows) {
   std::vector<ParetoPoint> pts;
   EXPECT_THROW(pareto_knee(pts, {}), std::invalid_argument);
+}
+
+// --------------------------------------------------------- ThreadPool ------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(1);  // the caller is the only executor
+  EXPECT_EQ(pool.size(), 0u);
+  int sum = 0;
+  pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultThreadsRejectsGarbageEnv) {
+  ::setenv("VLACNN_THREADS", "abc", 1);
+  EXPECT_THROW(ThreadPool::default_threads(), std::runtime_error);
+  ::setenv("VLACNN_THREADS", "0", 1);
+  EXPECT_THROW(ThreadPool::default_threads(), std::runtime_error);
+  ::setenv("VLACNN_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  ::unsetenv("VLACNN_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
 }
 
 }  // namespace

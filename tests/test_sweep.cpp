@@ -4,7 +4,9 @@
 
 #include <unistd.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <limits>
 
 #include "area/area_model.h"
 #include "core/conv_engine.h"
@@ -115,6 +117,84 @@ TEST_F(SweepTest, NetworkRowsApplyFallback) {
   EXPECT_EQ(rows[2].key.algo, Algo::kGemm6);  // 1x1 fallback
 }
 
+TEST_F(SweepTest, ReproExactModeParsesStrictly) {
+  ::unsetenv("REPRO_EXACT");
+  EXPECT_FALSE(repro_exact_mode());
+  for (const char* v : {"1", "true", "TRUE", "yes", "on", "On"}) {
+    ::setenv("REPRO_EXACT", v, 1);
+    EXPECT_TRUE(repro_exact_mode()) << v;
+  }
+  for (const char* v : {"0", "false", "no", "off", "OFF", ""}) {
+    ::setenv("REPRO_EXACT", v, 1);
+    EXPECT_FALSE(repro_exact_mode()) << v;
+  }
+  for (const char* v : {"10", "2", "maybe", "yess"}) {
+    ::setenv("REPRO_EXACT", v, 1);
+    EXPECT_THROW(repro_exact_mode(), std::runtime_error) << v;
+  }
+  ::unsetenv("REPRO_EXACT");
+}
+
+TEST_F(SweepTest, ParallelFanOutMatchesSerialBitwise) {
+  const Network net = tiny_net();
+  const auto descs = net.conv_descs();
+
+  // Serial reference: one get() at a time against its own cache file,
+  // replicating the pre-parallel network_optimal loop exactly.
+  ResultsDb serial_db((dir_ / "serial.csv").string());
+  SweepDriver serial(&serial_db);
+  std::vector<Algo> serial_plan;
+  double serial_cycles = 0;
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    Algo best_algo = Algo::kGemm6;
+    for (Algo a : kAllAlgos) {
+      if (!algo_applicable(a, descs[i])) continue;
+      const SweepRow r = serial.get(net.name(), static_cast<int>(i), descs[i],
+                                    a, 1024, 4u << 20);
+      if (r.cycles < best) {
+        best = r.cycles;
+        best_algo = a;
+      }
+    }
+    serial_plan.push_back(best_algo);
+    serial_cycles += best;
+  }
+
+  // Parallel engine on a fresh cache: plan and cycles must be bit-identical.
+  ResultsDb par_db((dir_ / "parallel.csv").string());
+  SweepDriver parallel(&par_db);
+  const auto opt = parallel.network_optimal(net, 1024, 4u << 20);
+  EXPECT_EQ(opt.plan, serial_plan);
+  EXPECT_EQ(opt.cycles, serial_cycles);  // exact, not NEAR
+
+  // Per-row outputs are bit-identical too.
+  for (Algo a : kAllAlgos) {
+    const auto rows = parallel.network_rows(net, a, 1024, 4u << 20);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow ref =
+          serial.get(net.name(), static_cast<int>(i), descs[i],
+                     rows[i].key.algo, 1024, 4u << 20);
+      EXPECT_EQ(rows[i].cycles, ref.cycles);
+      EXPECT_EQ(rows[i].avg_vl, ref.avg_vl);
+      EXPECT_EQ(rows[i].l2_miss_rate, ref.l2_miss_rate);
+    }
+  }
+}
+
+TEST_F(SweepTest, GetManyDeduplicatesIdenticalRequests) {
+  ResultsDb db(path_);
+  SweepDriver driver(&db);
+  const ConvLayerDesc d{3, 32, 32, 8, 3, 3, 1, 1};
+  std::vector<SweepRequest> reqs(
+      64, SweepRequest{"tiny", 0, d, Algo::kGemm3, 512, 1u << 20, 8,
+                       VpuAttach::kIntegratedL1});
+  const auto rows = driver.get_many(reqs);
+  ASSERT_EQ(rows.size(), reqs.size());
+  EXPECT_EQ(db.size(), 1u);  // single-flight: one simulation, one cache row
+  for (const SweepRow& r : rows) EXPECT_EQ(r.cycles, rows[0].cycles);
+}
+
 TEST_F(SweepTest, GridDefinitionsMatchPapers) {
   EXPECT_EQ(paper2_vlens().size(), 4u);
   EXPECT_EQ(paper2_l2_sizes().size(), 4u);
@@ -189,6 +269,42 @@ TEST_F(SweepTest, ServingOptimalBeatsFixedAlgo) {
   for (Algo a : kAllAlgos) {
     EXPECT_LE(opt, sim.evaluate(net, p, a).cycles_per_image + 1e-9);
   }
+}
+
+TEST_F(SweepTest, ServingGridMatchesPerPointEvaluation) {
+  const Network net = tiny_net();
+  ResultsDb db(path_);
+  SweepDriver driver(&db);
+  ServingSimulator sim(&driver);
+  const auto grid = sim.grid(net, Algo::kGemm3);
+  ASSERT_FALSE(grid.empty());
+  // The parallel grid must equal a serial re-evaluation of each point, in the
+  // serial nested-loop order, bit for bit.
+  ResultsDb db2((dir_ / "serial_grid.csv").string());
+  SweepDriver driver2(&db2);
+  ServingSimulator sim2(&driver2);
+  std::size_t idx = 0;
+  const int core_counts[] = {1, 4, 16, 64};
+  const std::uint64_t l2_sizes[] = {1ull << 20, 4ull << 20, 16ull << 20,
+                                    64ull << 20, 256ull << 20};
+  for (int cores : core_counts) {
+    for (std::uint32_t vlen : paper2_vlens()) {
+      for (std::uint64_t l2 : l2_sizes) {
+        for (int instances : core_counts) {
+          ServingPoint p{cores, vlen, l2, instances};
+          if (!p.feasible()) continue;
+          ASSERT_LT(idx, grid.size());
+          const ServingEval ref = sim2.evaluate(net, p, Algo::kGemm3);
+          EXPECT_EQ(grid[idx].cycles_per_image, ref.cycles_per_image);
+          EXPECT_EQ(grid[idx].images_per_cycle, ref.images_per_cycle);
+          EXPECT_EQ(grid[idx].area_mm2, ref.area_mm2);
+          EXPECT_EQ(grid[idx].point.instances, p.instances);
+          ++idx;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(idx, grid.size());
 }
 
 TEST_F(SweepTest, ServingRejectsInfeasible) {
