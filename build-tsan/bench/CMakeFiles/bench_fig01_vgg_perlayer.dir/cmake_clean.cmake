@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_vgg_perlayer.dir/bench_fig01_vgg_perlayer.cpp.o"
+  "CMakeFiles/bench_fig01_vgg_perlayer.dir/bench_fig01_vgg_perlayer.cpp.o.d"
+  "bench_fig01_vgg_perlayer"
+  "bench_fig01_vgg_perlayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_vgg_perlayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

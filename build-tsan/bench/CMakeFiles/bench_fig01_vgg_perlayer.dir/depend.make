@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig01_vgg_perlayer.
+# This may be replaced when dependencies are built.

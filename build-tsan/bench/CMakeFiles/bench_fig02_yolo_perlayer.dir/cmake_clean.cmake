@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_yolo_perlayer.dir/bench_fig02_yolo_perlayer.cpp.o"
+  "CMakeFiles/bench_fig02_yolo_perlayer.dir/bench_fig02_yolo_perlayer.cpp.o.d"
+  "bench_fig02_yolo_perlayer"
+  "bench_fig02_yolo_perlayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_yolo_perlayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_vgg_vlen.dir/bench_fig03_vgg_vlen.cpp.o"
+  "CMakeFiles/bench_fig03_vgg_vlen.dir/bench_fig03_vgg_vlen.cpp.o.d"
+  "bench_fig03_vgg_vlen"
+  "bench_fig03_vgg_vlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_vgg_vlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

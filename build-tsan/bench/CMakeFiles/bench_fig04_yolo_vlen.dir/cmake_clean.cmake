@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_yolo_vlen.dir/bench_fig04_yolo_vlen.cpp.o"
+  "CMakeFiles/bench_fig04_yolo_vlen.dir/bench_fig04_yolo_vlen.cpp.o.d"
+  "bench_fig04_yolo_vlen"
+  "bench_fig04_yolo_vlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_yolo_vlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

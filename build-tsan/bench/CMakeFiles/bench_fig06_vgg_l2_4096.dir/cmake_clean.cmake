@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_vgg_l2_4096.dir/bench_fig06_vgg_l2_4096.cpp.o"
+  "CMakeFiles/bench_fig06_vgg_l2_4096.dir/bench_fig06_vgg_l2_4096.cpp.o.d"
+  "bench_fig06_vgg_l2_4096"
+  "bench_fig06_vgg_l2_4096.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_vgg_l2_4096.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

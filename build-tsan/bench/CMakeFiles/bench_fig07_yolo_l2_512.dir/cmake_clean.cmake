@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_yolo_l2_512.dir/bench_fig07_yolo_l2_512.cpp.o"
+  "CMakeFiles/bench_fig07_yolo_l2_512.dir/bench_fig07_yolo_l2_512.cpp.o.d"
+  "bench_fig07_yolo_l2_512"
+  "bench_fig07_yolo_l2_512.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_yolo_l2_512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

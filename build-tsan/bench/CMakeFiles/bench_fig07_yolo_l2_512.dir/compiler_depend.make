@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_yolo_l2_512.
+# This may be replaced when dependencies are built.

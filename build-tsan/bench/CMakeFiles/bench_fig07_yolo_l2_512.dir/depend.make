@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_yolo_l2_512.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_yolo_l2_4096.
+# This may be replaced when dependencies are built.

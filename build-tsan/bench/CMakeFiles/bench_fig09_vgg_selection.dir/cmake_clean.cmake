@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_vgg_selection.dir/bench_fig09_vgg_selection.cpp.o"
+  "CMakeFiles/bench_fig09_vgg_selection.dir/bench_fig09_vgg_selection.cpp.o.d"
+  "bench_fig09_vgg_selection"
+  "bench_fig09_vgg_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_vgg_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

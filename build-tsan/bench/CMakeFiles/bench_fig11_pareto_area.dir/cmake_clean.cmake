@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pareto_area.dir/bench_fig11_pareto_area.cpp.o"
+  "CMakeFiles/bench_fig11_pareto_area.dir/bench_fig11_pareto_area.cpp.o.d"
+  "bench_fig11_pareto_area"
+  "bench_fig11_pareto_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pareto_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

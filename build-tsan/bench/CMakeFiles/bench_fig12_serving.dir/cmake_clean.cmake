@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_serving.dir/bench_fig12_serving.cpp.o"
+  "CMakeFiles/bench_fig12_serving.dir/bench_fig12_serving.cpp.o.d"
+  "bench_fig12_serving"
+  "bench_fig12_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_fig6_vlen.dir/bench_p1_fig6_vlen.cpp.o"
+  "CMakeFiles/bench_p1_fig6_vlen.dir/bench_p1_fig6_vlen.cpp.o.d"
+  "bench_p1_fig6_vlen"
+  "bench_p1_fig6_vlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_fig6_vlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

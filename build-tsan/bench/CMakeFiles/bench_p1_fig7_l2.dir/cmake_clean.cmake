@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_fig7_l2.dir/bench_p1_fig7_l2.cpp.o"
+  "CMakeFiles/bench_p1_fig7_l2.dir/bench_p1_fig7_l2.cpp.o.d"
+  "bench_p1_fig7_l2"
+  "bench_p1_fig7_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_fig7_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

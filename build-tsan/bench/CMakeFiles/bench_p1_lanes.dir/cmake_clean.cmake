@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_lanes.dir/bench_p1_lanes.cpp.o"
+  "CMakeFiles/bench_p1_lanes.dir/bench_p1_lanes.cpp.o.d"
+  "bench_p1_lanes"
+  "bench_p1_lanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_lanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

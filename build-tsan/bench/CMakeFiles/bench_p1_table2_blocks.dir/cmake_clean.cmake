@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_table2_blocks.dir/bench_p1_table2_blocks.cpp.o"
+  "CMakeFiles/bench_p1_table2_blocks.dir/bench_p1_table2_blocks.cpp.o.d"
+  "bench_p1_table2_blocks"
+  "bench_p1_table2_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_table2_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_table3_missrate.dir/bench_p1_table3_missrate.cpp.o"
+  "CMakeFiles/bench_p1_table3_missrate.dir/bench_p1_table3_missrate.cpp.o.d"
+  "bench_p1_table3_missrate"
+  "bench_p1_table3_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_table3_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_p1_table3_missrate.
+# This may be replaced when dependencies are built.

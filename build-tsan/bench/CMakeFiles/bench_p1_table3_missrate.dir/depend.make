@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_p1_table3_missrate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_table4_ai.dir/bench_p1_table4_ai.cpp.o"
+  "CMakeFiles/bench_p1_table4_ai.dir/bench_p1_table4_ai.cpp.o.d"
+  "bench_p1_table4_ai"
+  "bench_p1_table4_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_table4_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_p1_table4_ai.
+# This may be replaced when dependencies are built.

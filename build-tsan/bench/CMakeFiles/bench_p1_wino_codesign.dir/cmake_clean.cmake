@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_wino_codesign.dir/bench_p1_wino_codesign.cpp.o"
+  "CMakeFiles/bench_p1_wino_codesign.dir/bench_p1_wino_codesign.cpp.o.d"
+  "bench_p1_wino_codesign"
+  "bench_p1_wino_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_wino_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

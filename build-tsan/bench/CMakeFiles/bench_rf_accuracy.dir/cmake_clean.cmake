@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rf_accuracy.dir/bench_rf_accuracy.cpp.o"
+  "CMakeFiles/bench_rf_accuracy.dir/bench_rf_accuracy.cpp.o.d"
+  "bench_rf_accuracy"
+  "bench_rf_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rf_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_layers.dir/bench_table1_layers.cpp.o"
+  "CMakeFiles/bench_table1_layers.dir/bench_table1_layers.cpp.o.d"
+  "bench_table1_layers"
+  "bench_table1_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

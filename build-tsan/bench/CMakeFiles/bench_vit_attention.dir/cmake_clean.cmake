@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vit_attention.dir/bench_vit_attention.cpp.o"
+  "CMakeFiles/bench_vit_attention.dir/bench_vit_attention.cpp.o.d"
+  "bench_vit_attention"
+  "bench_vit_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vit_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

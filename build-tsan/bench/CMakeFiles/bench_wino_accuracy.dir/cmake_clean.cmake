@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wino_accuracy.dir/bench_wino_accuracy.cpp.o"
+  "CMakeFiles/bench_wino_accuracy.dir/bench_wino_accuracy.cpp.o.d"
+  "bench_wino_accuracy"
+  "bench_wino_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wino_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wino_tilesize.dir/bench_wino_tilesize.cpp.o"
+  "CMakeFiles/bench_wino_tilesize.dir/bench_wino_tilesize.cpp.o.d"
+  "bench_wino_tilesize"
+  "bench_wino_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wino_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

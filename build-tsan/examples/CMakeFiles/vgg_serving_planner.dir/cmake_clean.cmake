@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgg_serving_planner.dir/vgg_serving_planner.cpp.o"
+  "CMakeFiles/vgg_serving_planner.dir/vgg_serving_planner.cpp.o.d"
+  "vgg_serving_planner"
+  "vgg_serving_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgg_serving_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

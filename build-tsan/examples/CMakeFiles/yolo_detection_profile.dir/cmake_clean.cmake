@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yolo_detection_profile.dir/yolo_detection_profile.cpp.o"
+  "CMakeFiles/yolo_detection_profile.dir/yolo_detection_profile.cpp.o.d"
+  "yolo_detection_profile"
+  "yolo_detection_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yolo_detection_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

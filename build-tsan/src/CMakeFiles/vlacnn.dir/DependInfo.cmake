@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/conv_args.cpp" "src/CMakeFiles/vlacnn.dir/algos/conv_args.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/algos/conv_args.cpp.o.d"
+  "/root/repo/src/algos/direct.cpp" "src/CMakeFiles/vlacnn.dir/algos/direct.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/algos/direct.cpp.o.d"
+  "/root/repo/src/algos/gemm3.cpp" "src/CMakeFiles/vlacnn.dir/algos/gemm3.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/algos/gemm3.cpp.o.d"
+  "/root/repo/src/algos/gemm6.cpp" "src/CMakeFiles/vlacnn.dir/algos/gemm6.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/algos/gemm6.cpp.o.d"
+  "/root/repo/src/algos/reference.cpp" "src/CMakeFiles/vlacnn.dir/algos/reference.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/algos/reference.cpp.o.d"
+  "/root/repo/src/algos/registry.cpp" "src/CMakeFiles/vlacnn.dir/algos/registry.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/algos/registry.cpp.o.d"
+  "/root/repo/src/algos/winograd.cpp" "src/CMakeFiles/vlacnn.dir/algos/winograd.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/algos/winograd.cpp.o.d"
+  "/root/repo/src/area/area_model.cpp" "src/CMakeFiles/vlacnn.dir/area/area_model.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/area/area_model.cpp.o.d"
+  "/root/repo/src/area/pareto.cpp" "src/CMakeFiles/vlacnn.dir/area/pareto.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/area/pareto.cpp.o.d"
+  "/root/repo/src/attention/attention.cpp" "src/CMakeFiles/vlacnn.dir/attention/attention.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/attention/attention.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/vlacnn.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/linalg.cpp" "src/CMakeFiles/vlacnn.dir/common/linalg.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/common/linalg.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/vlacnn.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/vlacnn.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/conv_engine.cpp" "src/CMakeFiles/vlacnn.dir/core/conv_engine.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/core/conv_engine.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/CMakeFiles/vlacnn.dir/core/selector.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/core/selector.cpp.o.d"
+  "/root/repo/src/memsim/cache.cpp" "src/CMakeFiles/vlacnn.dir/memsim/cache.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/memsim/cache.cpp.o.d"
+  "/root/repo/src/memsim/memory_system.cpp" "src/CMakeFiles/vlacnn.dir/memsim/memory_system.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/memsim/memory_system.cpp.o.d"
+  "/root/repo/src/ml/crossval.cpp" "src/CMakeFiles/vlacnn.dir/ml/crossval.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/ml/crossval.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/vlacnn.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/CMakeFiles/vlacnn.dir/ml/decision_tree.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/CMakeFiles/vlacnn.dir/ml/random_forest.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/ml/random_forest.cpp.o.d"
+  "/root/repo/src/net/layer.cpp" "src/CMakeFiles/vlacnn.dir/net/layer.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/net/layer.cpp.o.d"
+  "/root/repo/src/net/models.cpp" "src/CMakeFiles/vlacnn.dir/net/models.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/net/models.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/vlacnn.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/runner.cpp" "src/CMakeFiles/vlacnn.dir/net/runner.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/net/runner.cpp.o.d"
+  "/root/repo/src/serving/serving.cpp" "src/CMakeFiles/vlacnn.dir/serving/serving.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/serving/serving.cpp.o.d"
+  "/root/repo/src/sweep/results_db.cpp" "src/CMakeFiles/vlacnn.dir/sweep/results_db.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/sweep/results_db.cpp.o.d"
+  "/root/repo/src/sweep/sweep.cpp" "src/CMakeFiles/vlacnn.dir/sweep/sweep.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/sweep/sweep.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "src/CMakeFiles/vlacnn.dir/tensor/im2col.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/tensor/im2col.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/vlacnn.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/vpu/functional_engine.cpp" "src/CMakeFiles/vlacnn.dir/vpu/functional_engine.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/vpu/functional_engine.cpp.o.d"
+  "/root/repo/src/vpu/timing_model.cpp" "src/CMakeFiles/vlacnn.dir/vpu/timing_model.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/vpu/timing_model.cpp.o.d"
+  "/root/repo/src/vpu/trace_engine.cpp" "src/CMakeFiles/vlacnn.dir/vpu/trace_engine.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/vpu/trace_engine.cpp.o.d"
+  "/root/repo/src/vpu/vpu_config.cpp" "src/CMakeFiles/vlacnn.dir/vpu/vpu_config.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/vpu/vpu_config.cpp.o.d"
+  "/root/repo/src/wino/transforms.cpp" "src/CMakeFiles/vlacnn.dir/wino/transforms.cpp.o" "gcc" "src/CMakeFiles/vlacnn.dir/wino/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

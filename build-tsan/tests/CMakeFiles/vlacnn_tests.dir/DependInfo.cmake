@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_algos.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_algos.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_algos.cpp.o.d"
+  "/root/repo/tests/test_attention.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_attention.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_attention.cpp.o.d"
+  "/root/repo/tests/test_codesign_shapes.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_codesign_shapes.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_codesign_shapes.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_memsim.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_memsim.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_memsim.cpp.o.d"
+  "/root/repo/tests/test_ml.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_ml.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_ml.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_results_db.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_results_db.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_results_db.cpp.o.d"
+  "/root/repo/tests/test_sweep.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_sweep.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_vpu.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_vpu.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_vpu.cpp.o.d"
+  "/root/repo/tests/test_winograd.cpp" "tests/CMakeFiles/vlacnn_tests.dir/test_winograd.cpp.o" "gcc" "tests/CMakeFiles/vlacnn_tests.dir/test_winograd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/vlacnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlacnn_tests.dir/test_algos.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_algos.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_attention.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_attention.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_codesign_shapes.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_codesign_shapes.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_common.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_memsim.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_memsim.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_ml.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_ml.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_net.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_net.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_results_db.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_results_db.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_sweep.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_sweep.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_tensor.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_tensor.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_vpu.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_vpu.cpp.o.d"
+  "CMakeFiles/vlacnn_tests.dir/test_winograd.cpp.o"
+  "CMakeFiles/vlacnn_tests.dir/test_winograd.cpp.o.d"
+  "vlacnn_tests"
+  "vlacnn_tests.pdb"
+  "vlacnn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlacnn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
