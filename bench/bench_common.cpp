@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include "obs/metrics.h"
+
 namespace vlacnn::bench {
 
 Env::Env()
@@ -9,6 +11,9 @@ Env::Env()
       yolo20(make_yolov3(20, 608)) {}
 
 void banner(const std::string& title, const std::string& paper_ref) {
+  // Every figure driver prints a banner first, so this is the one place that
+  // arms the VLACNN_METRICS exit report for the whole bench suite.
+  obs::install_exit_report();
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());

@@ -1,0 +1,119 @@
+// Proves the observability layer's "near-zero cost when off" claim: times the
+// same fixed simulation workload through conv_simulate (instrumented, all obs
+// knobs off) and conv_simulate_no_obs (the uninstrumented baseline) in
+// alternating repetitions, and fails (exit 1) if the median disabled-path
+// overhead exceeds 2%. A second, informational pass repeats the measurement
+// with metrics + tracing forced on to show what the enabled path costs.
+//
+// Run from the build tree: ./bench_obs_overhead  (no arguments; ignores
+// VLACNN_METRICS/VLACNN_TRACE so a CI environment can't skew the verdict).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "algos/registry.h"
+#include "net/models.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vlacnn {
+namespace {
+
+struct Point {
+  ConvLayerDesc desc;
+  Algo algo;
+};
+
+/// Small-image VGG-16 conv stack x every applicable algorithm: big enough that
+/// a repetition takes O(100ms), small enough to repeat many times.
+std::vector<Point> workload() {
+  std::vector<Point> pts;
+  const Network net = make_vgg16(32);
+  for (const ConvLayerDesc& d : net.conv_descs()) {
+    for (Algo a : kAllAlgos) {
+      if (algo_applicable(a, d)) pts.push_back({d, a});
+    }
+  }
+  return pts;
+}
+
+using SimFn = TimingStats (*)(Algo, const ConvLayerDesc&, const SimConfig&);
+
+double time_once(SimFn fn, const std::vector<Point>& pts,
+                 const SimConfig& config, double* sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Point& p : pts) *sink += fn(p.algo, p.desc, config).cycles;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Alternates baseline/instrumented repetitions so drift (thermal, other
+/// processes) hits both sides equally; returns {median_base_ms, median_obs_ms}.
+std::pair<double, double> measure(const std::vector<Point>& pts,
+                                  const SimConfig& config, int reps) {
+  double sink = 0;
+  // Warm-up: one untimed pass of each path.
+  time_once(&conv_simulate_no_obs, pts, config, &sink);
+  time_once(&conv_simulate, pts, config, &sink);
+  std::vector<double> base_ms, obs_ms;
+  for (int r = 0; r < reps; ++r) {
+    base_ms.push_back(time_once(&conv_simulate_no_obs, pts, config, &sink));
+    obs_ms.push_back(time_once(&conv_simulate, pts, config, &sink));
+  }
+  if (sink == 12345.0) std::printf("(unreachable)\n");  // defeat DCE
+  return {median(base_ms), median(obs_ms)};
+}
+
+}  // namespace
+}  // namespace vlacnn
+
+int main() {
+  using namespace vlacnn;
+
+  std::printf("\n================================================================\n");
+  std::printf("bench_obs_overhead: cost of the vlacnn::obs layer\n");
+  std::printf("================================================================\n");
+
+  // The verdict must reflect the *disabled* path regardless of environment.
+  obs::set_metrics_mode(obs::ReportMode::kOff);
+
+  const std::vector<Point> pts = workload();
+  const SimConfig config = make_sim_config(512, 1u << 20);
+  constexpr int kReps = 9;
+  std::printf("workload: %zu (layer, algo) points, VGG-16 @ 32x32, "
+              "VLEN=512, L2=1MB, %d reps each side\n\n",
+              pts.size(), kReps);
+
+  const auto [base_ms, off_ms] = measure(pts, config, kReps);
+  const double off_pct = (off_ms / base_ms - 1.0) * 100.0;
+  std::printf("no-obs baseline      median %8.2f ms\n", base_ms);
+  std::printf("obs disabled         median %8.2f ms   overhead %+.2f%%\n",
+              off_ms, off_pct);
+
+  // Informational: the same workload with metrics + tracing on.
+  const auto trace_path =
+      std::filesystem::temp_directory_path() / "bench_obs_overhead.trace.json";
+  obs::set_metrics_mode(obs::ReportMode::kText);
+  obs::Tracer::global().open(trace_path.string());
+  const auto [base2_ms, on_ms] = measure(pts, config, kReps);
+  obs::Tracer::global().close();
+  obs::set_metrics_mode(obs::ReportMode::kOff);
+  std::filesystem::remove(trace_path);
+  std::printf("obs enabled (m+t)    median %8.2f ms   overhead %+.2f%%  "
+              "(informational)\n",
+              on_ms, (on_ms / base2_ms - 1.0) * 100.0);
+
+  const bool pass = off_pct < 2.0;
+  std::printf("\ndisabled-path budget: < 2%%  ->  %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification plus a TSan pass over the concurrency
+# tests (thread pool, results DB single-flight, parallel sweep, obs counters).
+#
+# Usage: scripts/ci.sh            # from the repo root
+#   JOBS=8 scripts/ci.sh          # override parallelism (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: configure + build + full ctest =============================="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tsan: concurrency tests under VLACNN_SANITIZE=thread ================"
+cmake -B build-tsan -S . -DVLACNN_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target vlacnn_tests
+# TSan is slow; run the suites that exercise shared state rather than the
+# whole grid. VLACNN_THREADS forces real interleaving even on 1-core CI.
+VLACNN_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|ResultsDb|SingleFlight|Parallel|Concurrent|Obs'
+
+echo "== ci.sh: all green ===================================================="

@@ -6,6 +6,8 @@
 #include "algos/gemm3.h"
 #include "algos/gemm6.h"
 #include "algos/winograd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vpu/functional_engine.h"
 #include "vpu/trace_engine.h"
 
@@ -61,8 +63,8 @@ std::vector<float> reformat_weights_direct(const ConvLayerDesc& d,
   return out;
 }
 
-TimingStats conv_simulate(Algo algo, const ConvLayerDesc& d,
-                          const SimConfig& config_in) {
+TimingStats conv_simulate_no_obs(Algo algo, const ConvLayerDesc& d,
+                                 const SimConfig& config_in) {
   if (!algo_applicable(algo, d)) {
     throw std::invalid_argument("conv_simulate: " + std::string(to_string(algo)) +
                                 " not applicable to " + d.to_string());
@@ -108,6 +110,26 @@ TimingStats conv_simulate(Algo algo, const ConvLayerDesc& d,
     }
   }
   return timing.stats();
+}
+
+TimingStats conv_simulate(Algo algo, const ConvLayerDesc& d,
+                          const SimConfig& config) {
+  obs::Span span("conv_simulate");
+  if (span.active()) {
+    span.arg("algo", to_string(algo));
+    span.arg("layer", d.to_string());
+    span.arg("vlen", std::to_string(config.vpu.vlen_bits));
+  }
+  const TimingStats stats = conv_simulate_no_obs(algo, d, config);
+  if (obs::metrics_enabled()) {
+    // Simulated cycles per point; the matching host cost lands in the
+    // span.conv_simulate.us histogram, so the report shows both sides of the
+    // simulated-cycles vs host-time ratio.
+    static obs::Histogram& cycles =
+        obs::Registry::global().histogram("conv_simulate.cycles");
+    cycles.observe(static_cast<std::uint64_t>(stats.cycles));
+  }
+  return stats;
 }
 
 Tensor conv_functional(Algo algo, const ConvLayerDesc& d, const Tensor& in,

@@ -37,9 +37,16 @@ SimConfig make_sim_config(std::uint32_t vlen_bits, std::uint64_t l2_bytes,
 
 /// Simulate one layer with one algorithm. The layer runs on a cold hierarchy
 /// (every figure in the papers reports per-layer numbers). Throws if the
-/// algorithm is not applicable to the layer.
+/// algorithm is not applicable to the layer. Emits a "conv_simulate" obs span
+/// and per-point cycle/host-time histograms when observability is on.
 TimingStats conv_simulate(Algo algo, const ConvLayerDesc& desc,
                           const SimConfig& config);
+
+/// conv_simulate minus the observability hooks: the no-obs baseline that
+/// bench_obs_overhead measures the disabled-path cost against. Numerically
+/// identical to conv_simulate; not useful elsewhere.
+TimingStats conv_simulate_no_obs(Algo algo, const ConvLayerDesc& desc,
+                                 const SimConfig& config);
 
 /// Numerically execute one layer with one algorithm.
 /// in: NCHW tensor matching desc; weights: OIHW. Returns NCHW output.

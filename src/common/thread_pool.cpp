@@ -1,10 +1,15 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vlacnn {
 
@@ -13,6 +18,18 @@ ThreadPool::ThreadPool(unsigned threads) {
   // The calling thread always participates in parallel_for, so a pool on an
   // N-way machine only needs N-1 helpers to saturate it.
   const unsigned helpers = threads > 0 ? threads - 1 : 0;
+  // Resolve the obs singletons before any worker exists: workers emit metrics
+  // and spans, and touching the singletons here fixes static-destruction
+  // order so they outlive the shared pool.
+  obs::Registry& reg = obs::Registry::global();
+  obs::Tracer::global();
+  tasks_submitted_ = &reg.counter("thread_pool.tasks_submitted");
+  tasks_executed_ = &reg.counter("thread_pool.tasks_executed");
+  busy_us_ = &reg.counter("thread_pool.busy_us");
+  queue_depth_ = &reg.gauge("thread_pool.queue_depth");
+  reg.gauge("thread_pool.workers").set(helpers);
+  obs::log(obs::LogLevel::kDebug, "thread_pool", "started",
+           {{"workers", std::to_string(helpers)}});
   workers_.reserve(helpers);
   for (unsigned i = 0; i < helpers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -29,24 +46,48 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lk(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  if (obs::metrics_enabled()) {
+    tasks_submitted_->add();
+    queue_depth_->set(static_cast<std::int64_t>(depth));
+  }
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
-    task();
+    if (obs::metrics_enabled()) {
+      queue_depth_->set(static_cast<std::int64_t>(depth));
+      const auto t0 = std::chrono::steady_clock::now();
+      task();
+      busy_us_->add(static_cast<std::uint64_t>(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+      tasks_executed_->add();
+    } else {
+      task();
+    }
   }
 }
 

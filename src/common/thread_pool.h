@@ -22,6 +22,11 @@
 
 namespace vlacnn {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
 class ThreadPool {
  public:
   /// `threads` == 0 picks default_threads(). A pool of size 0 is legal: every
@@ -33,6 +38,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Tasks submitted but not yet claimed by a worker. A point-in-time
+  /// snapshot: by the time the caller looks at it the workers may already
+  /// have drained more. The obs queue-depth gauge reads the same number.
+  std::size_t pending() const;
 
   /// Fire-and-forget task. Must not throw (exceptions terminate).
   void submit(std::function<void()> task);
@@ -52,11 +62,19 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stop_ = false;
+
+  // Cached obs instruments (resolved once in the constructor, which also pins
+  // the Registry's construction before any worker starts — so the registry
+  // outlives the workers during static destruction).
+  obs::Counter* tasks_submitted_ = nullptr;
+  obs::Counter* tasks_executed_ = nullptr;
+  obs::Counter* busy_us_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
 };
 
 }  // namespace vlacnn

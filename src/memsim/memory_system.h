@@ -45,6 +45,11 @@ class MemorySystem {
  public:
   explicit MemorySystem(const MemConfig& config);
 
+  /// Rolls the per-level probe statistics (accesses, misses, DRAM bytes) into
+  /// the global obs counters when metrics are on. Every simulation point owns
+  /// a fresh MemorySystem, so the roll-up happens exactly once per point.
+  ~MemorySystem();
+
   /// Access [addr, addr+bytes) as vector traffic (enters at the configured
   /// attachment point).
   AccessResult vector_access(std::uint64_t addr, std::uint64_t bytes, bool write);

@@ -3,6 +3,9 @@
 #include <stdexcept>
 
 #include "common/thread_pool.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vlacnn {
 
@@ -24,6 +27,18 @@ ServingEval ServingSimulator::evaluate(const Network& net,
                                        std::optional<Algo> fixed) const {
   if (!point.feasible()) {
     throw std::invalid_argument("serving: infeasible configuration");
+  }
+  obs::Span span("serving.evaluate");
+  if (span.active()) {
+    span.arg("cores", std::to_string(point.cores));
+    span.arg("vlen", std::to_string(point.vlen_bits));
+    span.arg("l2_total", std::to_string(point.l2_total_bytes));
+    span.arg("instances", std::to_string(point.instances));
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& points =
+        obs::Registry::global().counter("serving.points_evaluated");
+    points.add();
   }
   const std::uint64_t slice = point.l2_slice_bytes();
   double cycles = 0;
@@ -61,6 +76,13 @@ std::vector<ServingEval> ServingSimulator::grid(const Network& net,
       }
     }
   }
+  obs::Span span("serving.grid");
+  if (span.active()) {
+    span.arg("net", net.name());
+    span.arg("points", std::to_string(points.size()));
+  }
+  obs::log(obs::LogLevel::kInfo, "serving", "grid",
+           {{"net", net.name()}, {"points", std::to_string(points.size())}});
   std::vector<ServingEval> out(points.size());
   ThreadPool::shared().parallel_for(points.size(), [&](std::size_t i) {
     out[i] = evaluate(net, points[i], fixed);

@@ -7,10 +7,37 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace vlacnn {
 
 namespace {
+
+// Cache-engine instruments, resolved once. A "hit" is any request served from
+// memory, a "miss" is a request that had to run the compute function, and a
+// "singleflight_wait" is a request that blocked on another thread's compute.
+struct DbMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& waits;
+  obs::Counter& puts;
+  obs::Counter& loaded_rows;
+  obs::Counter& heals;
+
+  static DbMetrics& get() {
+    static DbMetrics m = [] {
+      obs::Registry& reg = obs::Registry::global();
+      return DbMetrics{reg.counter("results_db.hit"),
+                       reg.counter("results_db.miss"),
+                       reg.counter("results_db.singleflight_wait"),
+                       reg.counter("results_db.put"),
+                       reg.counter("results_db.loaded_rows"),
+                       reg.counter("results_db.heal")};
+    }();
+    return m;
+  }
+};
 
 const std::vector<std::string> kHeader = {
     "net",     "layer",  "algo",    "vlen",        "l2_bytes",
@@ -159,11 +186,23 @@ ResultsDb::ResultsDb(std::string path) : path_(std::move(path)) {
     write_csv_file(path_, clean);
     healed_on_load_ = true;
   }
+  if (obs::metrics_enabled()) {
+    DbMetrics& m = DbMetrics::get();
+    m.loaded_rows.add(rows_.size());
+    if (healed_on_load_) m.heals.add();
+  }
+  obs::log(obs::LogLevel::kInfo, "results_db", "loaded",
+           {{"path", path_},
+            {"rows", std::to_string(rows_.size())},
+            {"healed", healed_on_load_ ? "true" : "false"}});
 }
 
 std::optional<SweepRow> ResultsDb::find(const SweepKey& key) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = rows_.find(key);
+  if (obs::metrics_enabled()) {
+    (it != rows_.end() ? DbMetrics::get().hits : DbMetrics::get().misses).add();
+  }
   if (it == rows_.end()) return std::nullopt;
   return it->second;
 }
@@ -198,6 +237,7 @@ void ResultsDb::persist_locked(const SweepRow& row) {
 }
 
 void ResultsDb::put(const SweepRow& row) {
+  if (obs::metrics_enabled()) DbMetrics::get().puts.add();
   std::lock_guard<std::mutex> lk(mu_);
   rows_[row.key] = row;
   persist_locked(row);
@@ -205,18 +245,24 @@ void ResultsDb::put(const SweepRow& row) {
 
 SweepRow ResultsDb::get_or_compute(const SweepKey& key,
                                    const std::function<SweepRow()>& compute) {
+  const bool metered = obs::metrics_enabled();
   std::shared_ptr<InFlight> flight;
   {
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
-      if (auto it = rows_.find(key); it != rows_.end()) return it->second;
+      if (auto it = rows_.find(key); it != rows_.end()) {
+        if (metered) DbMetrics::get().hits.add();
+        return it->second;
+      }
       auto fit = inflight_.find(key);
       if (fit == inflight_.end()) {
         flight = std::make_shared<InFlight>();
         inflight_.emplace(key, flight);
+        if (metered) DbMetrics::get().misses.add();
         break;  // this thread is the leader
       }
       // Another thread is computing this key: wait for it, then re-check.
+      if (metered) DbMetrics::get().waits.add();
       std::shared_ptr<InFlight> theirs = fit->second;
       lk.unlock();
       {

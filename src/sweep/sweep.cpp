@@ -7,6 +7,9 @@
 #include <stdexcept>
 
 #include "common/thread_pool.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vlacnn {
 
@@ -42,9 +45,24 @@ SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
                           std::uint32_t lanes, VpuAttach attach) {
   SweepKey key{net_name, conv_ordinal, algo, vlen_bits, l2_bytes, lanes, attach};
   const SweepRow row = db_->get_or_compute(key, [&] {
+    // Only cache misses reach this lambda, so the span/sim-point metrics
+    // count actual simulations, tagged with the full grid coordinate.
+    obs::Span span("sweep.sim");
+    if (span.active()) {
+      span.arg("net", net_name);
+      span.arg("layer", std::to_string(conv_ordinal));
+      span.arg("algo", to_string(algo));
+      span.arg("vlen", std::to_string(vlen_bits));
+      span.arg("l2", std::to_string(l2_bytes));
+    }
     SimConfig config = make_sim_config(vlen_bits, l2_bytes, lanes, attach);
     config.sampler.exact = repro_exact_mode();
     const TimingStats stats = conv_simulate(algo, desc, config);
+    if (obs::metrics_enabled()) {
+      static obs::Counter& points =
+          obs::Registry::global().counter("sweep.sim_points");
+      points.add();
+    }
     SweepRow r;
     r.key = key;
     r.desc = desc;
@@ -66,6 +84,13 @@ SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
 
 std::vector<SweepRow> SweepDriver::get_many(
     const std::vector<SweepRequest>& reqs) {
+  obs::Span span("sweep.get_many");
+  if (span.active()) span.arg("requests", std::to_string(reqs.size()));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& requests =
+        obs::Registry::global().counter("sweep.requests");
+    requests.add(reqs.size());
+  }
   std::vector<SweepRow> out(reqs.size());
   // One task per request; the ResultsDb deduplicates overlapping keys
   // (single-flight) and indexing by request order keeps the output
@@ -82,6 +107,13 @@ void SweepDriver::prefetch(const Network& net, const std::vector<Algo>& algos,
                            const std::vector<std::uint32_t>& vlens,
                            const std::vector<std::uint64_t>& l2_sizes,
                            std::uint32_t lanes, VpuAttach attach) {
+  obs::Span span("sweep.prefetch");
+  if (span.active()) span.arg("net", net.name());
+  obs::log(obs::LogLevel::kDebug, "sweep", "prefetch",
+           {{"net", net.name()},
+            {"algos", std::to_string(algos.size())},
+            {"vlens", std::to_string(vlens.size())},
+            {"l2_sizes", std::to_string(l2_sizes.size())}});
   const auto descs = net.conv_descs();
   std::vector<SweepRequest> reqs;
   reqs.reserve(descs.size() * algos.size() * vlens.size() * l2_sizes.size());
@@ -132,6 +164,12 @@ SweepDriver::OptimalResult SweepDriver::network_optimal(const Network& net,
                                                         std::uint64_t l2_bytes,
                                                         std::uint32_t lanes,
                                                         VpuAttach attach) {
+  obs::Span span("sweep.network_optimal");
+  if (span.active()) {
+    span.arg("net", net.name());
+    span.arg("vlen", std::to_string(vlen_bits));
+    span.arg("l2", std::to_string(l2_bytes));
+  }
   const auto descs = net.conv_descs();
   // Fan out over every applicable (layer, algorithm) point, then reduce
   // serially in the same layer-major / kAllAlgos order as the serial loop:

@@ -1,0 +1,519 @@
+// Observability layer: counters/gauges/histograms (including exactness under
+// concurrency — these run under TSan via the VLACNN_SANITIZE build), span ->
+// Chrome-trace JSON round-trip through a real parser, env-knob gating, and
+// the end-to-end counters the sweep engine feeds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sweep/sweep.h"
+
+namespace vlacnn {
+namespace {
+
+// -- minimal JSON parser ------------------------------------------------------
+// Just enough JSON to validate the trace files we emit: full syntax checking,
+// plus counting and key inspection of the traceEvents array. Throws
+// std::runtime_error on any malformed input.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type =
+      Type::kNull;
+  double number = 0;
+  bool boolean = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("json: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return literal("true", v);
+      }
+      case 'f': {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        return literal("false", v);
+      }
+      case 'n': return literal("null", JsonValue{});
+      default: return number();
+    }
+  }
+
+  JsonValue literal(const std::string& word, JsonValue v) {
+    if (s_.compare(pos_, word.size(), word) != 0) fail("bad literal");
+    pos_ += word.size();
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    std::size_t used = 0;
+    const std::string text = s_.substr(start, pos_ - start);
+    v.number = std::stod(text, &used);
+    if (used != text.size()) fail("bad number");
+    return v;
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("short \\u escape");
+            v.string += static_cast<char>(
+                std::stoul(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(key.string, value());
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Flips the metrics mode for one test and restores kOff on exit (ctest runs
+/// each test in its own process, but restoring keeps in-process runs clean).
+struct ScopedMetrics {
+  explicit ScopedMetrics(obs::ReportMode mode) { obs::set_metrics_mode(mode); }
+  ~ScopedMetrics() { obs::set_metrics_mode(obs::ReportMode::kOff); }
+};
+
+// -- metrics ------------------------------------------------------------------
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, AddNAccumulates) {
+  obs::Counter c;
+  c.add(3);
+  c.add(39);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsGauge, SetAddAndHighWaterMark) {
+  obs::Gauge g;
+  g.set(5);
+  g.add(10);
+  g.add(-12);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 15);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // bucket 0 = {0}; bucket i>=1 = [2^(i-1), 2^i).
+  EXPECT_EQ(obs::Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_hi(0), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_hi(1), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_lo(11), 1024u);
+  EXPECT_EQ(obs::Histogram::bucket_hi(11), 2048u);
+  EXPECT_EQ(obs::Histogram::bucket_hi(64),
+            std::numeric_limits<std::uint64_t>::max());
+
+  obs::Histogram h;
+  h.observe(0);     // bucket 0
+  h.observe(1);     // bucket 1
+  h.observe(2);     // bucket 2
+  h.observe(3);     // bucket 2
+  h.observe(1023);  // bucket 10: [512, 1024)
+  h.observe(1024);  // bucket 11: [1024, 2048)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 1023 + 1024);
+}
+
+TEST(ObsHistogram, ConcurrentObservesCountExactly) {
+  obs::Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    bucket_total += h.bucket(i);
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(ObsHistogram, QuantileBoundCoversObservations) {
+  obs::Histogram h;
+  for (int i = 0; i < 99; ++i) h.observe(10);   // bucket [8,16)
+  h.observe(100000);                            // far tail
+  EXPECT_EQ(h.quantile_bound(0.5), 16u);
+  EXPECT_GE(h.quantile_bound(1.0), 100000u);
+}
+
+TEST(ObsRegistry, SameNameSameInstrumentAndResetKeepsReferences) {
+  obs::Registry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  reg.reset();
+  EXPECT_EQ(b.value(), 0u);  // zeroed in place, reference still valid
+  b.add(1);
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+}
+
+TEST(ObsRegistry, ReportTextListsInstruments) {
+  obs::Registry reg;
+  reg.counter("test.hits").add(42);
+  reg.gauge("test.depth").set(3);
+  reg.histogram("test.lat").observe(100);
+  const std::string text = reg.report_text();
+  EXPECT_NE(text.find("test.hits"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("test.depth"), std::string::npos);
+  EXPECT_NE(text.find("test.lat"), std::string::npos);
+}
+
+TEST(ObsRegistry, ReportJsonParsesBack) {
+  obs::Registry reg;
+  reg.counter("c.one").add(1);
+  reg.gauge("g \"quoted\"").set(-5);
+  reg.histogram("h.lat").observe(0);
+  reg.histogram("h.lat").observe(1000);
+  const std::string json = reg.report_json();
+  JsonValue root = JsonParser(json).parse();
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* c1 = counters->find("c.one");
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1->number, 1.0);
+  const JsonValue* g = root.find("gauges")->find("g \"quoted\"");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->find("value")->number, -5.0);
+  const JsonValue* h = root.find("histograms")->find("h.lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->number, 2.0);
+  EXPECT_EQ(h->find("buckets")->array.size(), 2u);  // bucket 0 and [512,1024)
+}
+
+TEST(ObsMetrics, DisabledByDefaultWithoutEnv) {
+  if (std::getenv("VLACNN_METRICS") != nullptr) {
+    GTEST_SKIP() << "VLACNN_METRICS set in the environment";
+  }
+  EXPECT_FALSE(obs::metrics_enabled());
+  EXPECT_EQ(obs::metrics_mode(), obs::ReportMode::kOff);
+}
+
+// -- logger -------------------------------------------------------------------
+
+TEST(ObsLog, LevelGating) {
+  obs::set_log_level(obs::LogLevel::kOff);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kInfo));
+  obs::set_log_level(obs::LogLevel::kInfo);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kInfo));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kDebug));
+  obs::set_log_level(obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kDebug));
+  // Emitting at every level must not crash; output goes to stderr.
+  obs::log(obs::LogLevel::kInfo, "test", "message with spaces",
+           {{"key", "value with spaces"}, {"empty", ""}});
+  obs::set_log_level(obs::LogLevel::kOff);
+}
+
+// -- tracer / spans -----------------------------------------------------------
+
+TEST(ObsTrace, DisabledTracerCreatesNoFileAndNoEvents) {
+  obs::Tracer tracer;  // never opened
+  EXPECT_FALSE(tracer.enabled());
+  {
+    obs::Span span("phase", &tracer);
+    EXPECT_FALSE(span.active());
+    span.arg("dropped", "yes");
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(ObsTrace, GlobalTracerOffWithoutEnvKnob) {
+  if (std::getenv("VLACNN_TRACE") != nullptr) {
+    GTEST_SKIP() << "VLACNN_TRACE set in the environment";
+  }
+  EXPECT_FALSE(obs::Tracer::global().enabled());
+  obs::Span span("should_not_record");
+  EXPECT_FALSE(span.active());
+}
+
+TEST(ObsTrace, SpanJsonRoundTripsThroughParser) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "vlacnn_test_obs_trace";
+  std::filesystem::remove_all(dir);
+  const auto file = dir / "trace.json";
+
+  obs::Tracer tracer(file.string());
+  ASSERT_TRUE(tracer.enabled());
+  // Spans from several threads, with args that need JSON escaping.
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::Span span("worker.phase", &tracer);
+        ASSERT_TRUE(span.active());
+        span.arg("thread", std::to_string(t));
+        span.arg("nasty", "quote\" backslash\\ tab\t");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.event_count(), kThreads * kSpansPerThread);
+  tracer.close();
+  EXPECT_FALSE(tracer.enabled());
+  ASSERT_TRUE(std::filesystem::exists(file));
+
+  JsonValue root = JsonParser(read_file(file)).parse();
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::kArray);
+  ASSERT_EQ(events->array.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  for (const JsonValue& e : events->array) {
+    EXPECT_EQ(e.find("name")->string, "worker.phase");
+    EXPECT_EQ(e.find("ph")->string, "X");
+    EXPECT_GE(e.find("ts")->number, 0.0);
+    EXPECT_GE(e.find("dur")->number, 0.0);
+    EXPECT_EQ(e.find("pid")->number, 1.0);
+    EXPECT_GE(e.find("tid")->number, 1.0);
+    EXPECT_LE(e.find("tid")->number, kThreads);
+    EXPECT_EQ(e.find("args")->find("nasty")->string,
+              "quote\" backslash\\ tab\t");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObsTrace, SpanFeedsMetricsHistogramWhenMetricsOn) {
+  ScopedMetrics on(obs::ReportMode::kText);
+  obs::Histogram& h =
+      obs::Registry::global().histogram("span.unit_test_phase.us");
+  const std::uint64_t before = h.count();
+  {
+    obs::Span span("unit_test_phase");
+    EXPECT_TRUE(span.active());
+  }
+  EXPECT_EQ(h.count(), before + 1);
+}
+
+// -- end to end through the sweep engine --------------------------------------
+
+TEST(ObsEndToEnd, SweepCountersTrackHitsMissesAndSimPoints) {
+  ScopedMetrics on(obs::ReportMode::kText);
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t hits0 = reg.counter("results_db.hit").value();
+  const std::uint64_t miss0 = reg.counter("results_db.miss").value();
+  const std::uint64_t sims0 = reg.counter("sweep.sim_points").value();
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "vlacnn_test_obs_sweep";
+  std::filesystem::remove_all(dir);
+  {
+    ResultsDb db((dir / "cache.csv").string());
+    SweepDriver driver(&db);
+    const ConvLayerDesc tiny{8, 8, 8, 4, 3, 3, 1, 1};
+    driver.get("obs-test", 0, tiny, Algo::kDirect, 512, 1u << 20);   // miss
+    driver.get("obs-test", 0, tiny, Algo::kDirect, 512, 1u << 20);   // hit
+  }
+  EXPECT_EQ(reg.counter("results_db.miss").value(), miss0 + 1);
+  EXPECT_EQ(reg.counter("results_db.hit").value(), hits0 + 1);
+  EXPECT_EQ(reg.counter("sweep.sim_points").value(), sims0 + 1);
+  // The simulation also rolled its cache stats into the memsim counters.
+  EXPECT_GT(reg.counter("memsim.l1_accesses").value(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObsEndToEnd, ThreadPoolExposesSizeAndPending) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 2u);  // caller participates, so 2 helpers
+  EXPECT_EQ(pool.pending(), 0u);
+  std::atomic<int> ran{0};
+  pool.parallel_for(16, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+  // parallel_for may leave already-satisfied drain tasks queued; workers
+  // discard them as no-ops, so pending() must come back to zero.
+  for (int i = 0; i < 1000 && pool.pending() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace vlacnn
