@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include "obs/metrics.h"
+#include "report/collector.h"
 
 namespace vlacnn::bench {
 
@@ -12,8 +13,10 @@ Env::Env()
 
 void banner(const std::string& title, const std::string& paper_ref) {
   // Every figure driver prints a banner first, so this is the one place that
-  // arms the VLACNN_METRICS exit report for the whole bench suite.
+  // arms the VLACNN_METRICS and VLACNN_REPORT exit reports for the whole
+  // bench suite.
   obs::install_exit_report();
+  report::arm_exit_report(title);
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());

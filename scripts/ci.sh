@@ -22,4 +22,18 @@ cmake --build build-tsan -j "$JOBS" --target vlacnn_tests
 VLACNN_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ResultsDb|SingleFlight|Parallel|Concurrent|Obs'
 
+echo "== report: perf-regression gate vs BENCH_report_baseline.json =========="
+# A warm run (the committed results/sweep_cache.csv covers the fig01 grid with
+# breakdowns) that re-emits the attribution report; the diff exits nonzero if
+# any grid point's cycles moved past the budget. Cycles are simulator output —
+# deterministic — so the 2% budget only absorbs intentional model changes
+# (re-run with VLACNN_REPORT and commit the new baseline to accept one).
+REPORT_DIR=build/report-gate
+rm -rf "$REPORT_DIR"
+VLACNN_REPORT="$REPORT_DIR" ./build/bench/bench_fig01_vgg_perlayer >/dev/null
+REPORT_JSON="$REPORT_DIR/fig_1_per_layer_algorithm_comparison_vgg_16.report.json"
+./build/tools/vlacnn-report summarize "$REPORT_JSON"
+./build/tools/vlacnn-report diff BENCH_report_baseline.json "$REPORT_JSON" \
+  --budget-pct 2
+
 echo "== ci.sh: all green ===================================================="

@@ -299,6 +299,39 @@ Registry& Registry::global() {
 
 namespace {
 std::chrono::steady_clock::time_point g_report_epoch;
+bool g_report_epoch_set = false;
+}
+
+void write_exit_report(std::FILE* out) {
+  ReportMode mode;
+  try {
+    mode = metrics_mode();
+  } catch (const std::exception&) {
+    return;  // bad env value already reported by the run itself
+  }
+  if (mode == ReportMode::kOff) return;
+  Registry& reg = Registry::global();
+  if (mode == ReportMode::kJson) {
+    std::fprintf(out, "%s\n", reg.report_json().c_str());
+    return;
+  }
+  std::fputs(reg.report_text().c_str(), out);
+  // Pool utilization needs wall-clock context the registry doesn't have.
+  if (!g_report_epoch_set) return;
+  const double wall_us = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - g_report_epoch)
+                             .count();
+  const std::int64_t workers = reg.gauge("thread_pool.workers").value();
+  const std::uint64_t busy_us = reg.counter("thread_pool.busy_us").value();
+  if (workers > 0 && wall_us > 0) {
+    std::fprintf(out,
+                 "thread_pool utilization: %.1f%% (%.3f s busy across %lld "
+                 "workers over %.3f s wall)\n",
+                 100.0 * static_cast<double>(busy_us) /
+                     (static_cast<double>(workers) * wall_us),
+                 static_cast<double>(busy_us) * 1e-6,
+                 static_cast<long long>(workers), wall_us * 1e-6);
+  }
 }
 
 void install_exit_report() {
@@ -311,37 +344,8 @@ void install_exit_report() {
     Registry::global();
     Tracer::global();
     g_report_epoch = std::chrono::steady_clock::now();
-    std::atexit([] {
-      ReportMode mode;
-      try {
-        mode = metrics_mode();
-      } catch (const std::exception&) {
-        return;  // bad env value already reported by the run itself
-      }
-      if (mode == ReportMode::kOff) return;
-      Registry& reg = Registry::global();
-      if (mode == ReportMode::kJson) {
-        std::fprintf(stderr, "%s\n", reg.report_json().c_str());
-        return;
-      }
-      std::fputs(reg.report_text().c_str(), stderr);
-      // Pool utilization needs wall-clock context the registry doesn't have.
-      const double wall_us =
-          std::chrono::duration<double, std::micro>(
-              std::chrono::steady_clock::now() - g_report_epoch)
-              .count();
-      const std::int64_t workers = reg.gauge("thread_pool.workers").value();
-      const std::uint64_t busy_us = reg.counter("thread_pool.busy_us").value();
-      if (workers > 0 && wall_us > 0) {
-        std::fprintf(stderr,
-                     "thread_pool utilization: %.1f%% (%.3f s busy across %lld "
-                     "workers over %.3f s wall)\n",
-                     100.0 * static_cast<double>(busy_us) /
-                         (static_cast<double>(workers) * wall_us),
-                     static_cast<double>(busy_us) * 1e-6,
-                     static_cast<long long>(workers), wall_us * 1e-6);
-      }
-    });
+    g_report_epoch_set = true;
+    std::atexit([] { write_exit_report(stderr); });
   });
 }
 

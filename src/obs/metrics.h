@@ -19,6 +19,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -131,5 +132,12 @@ class Registry {
 /// report to stderr when VLACNN_METRICS asks for one (plus a thread-pool
 /// utilization summary). Called by the bench drivers' banner().
 void install_exit_report();
+
+/// The body of the exit hook, callable directly (tests parse its JSON output
+/// back): writes the mode-appropriate report for Registry::global() to `out`.
+/// No-op when the mode is kOff or the env value is invalid. The thread-pool
+/// utilization epilogue needs the wall-clock epoch install_exit_report()
+/// records; before that it is skipped.
+void write_exit_report(std::FILE* out);
 
 }  // namespace vlacnn::obs

@@ -1,0 +1,176 @@
+#include "report/collector.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/log.h"
+
+namespace vlacnn::report {
+
+namespace {
+
+std::mutex g_dir_mu;
+std::string g_dir;               // guarded by g_dir_mu
+std::atomic<int> g_enabled{-1};  // -1 unparsed, 0 off, 1 on
+
+int load_enabled() {
+  int e = g_enabled.load(std::memory_order_relaxed);
+  if (e < 0) {
+    const char* v = std::getenv("VLACNN_REPORT");
+    const bool on = v != nullptr && v[0] != '\0';
+    {
+      std::lock_guard<std::mutex> lk(g_dir_mu);
+      if (on) g_dir = v;
+    }
+    int expected = -1;
+    g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                      std::memory_order_relaxed);
+    e = g_enabled.load(std::memory_order_relaxed);
+  }
+  return e;
+}
+
+std::chrono::steady_clock::time_point g_epoch;
+std::mutex g_arm_mu;
+std::string g_armed_title;  // guarded by g_arm_mu; "" = not armed
+
+}  // namespace
+
+bool enabled() { return load_enabled() != 0; }
+
+std::string report_dir() {
+  if (!enabled()) return "";
+  std::lock_guard<std::mutex> lk(g_dir_mu);
+  return g_dir;
+}
+
+void set_report_dir(const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> lk(g_dir_mu);
+    g_dir = dir;
+  }
+  g_enabled.store(dir.empty() ? 0 : 1, std::memory_order_relaxed);
+}
+
+std::string slugify(const std::string& title) {
+  std::string out;
+  bool pending_sep = false;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_sep && !out.empty()) out += '_';
+      pending_sep = false;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out.empty() ? "report" : out;
+}
+
+Collector& Collector::global() {
+  static Collector c;
+  return c;
+}
+
+void Collector::record_row(const SweepRow& row) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rows_[row.key] = row;
+}
+
+void Collector::record_serving(const ServingCell& cell) {
+  std::lock_guard<std::mutex> lk(mu_);
+  serving_[{cell.cores, cell.vlen_bits, cell.l2_total_bytes, cell.instances}] =
+      cell;
+}
+
+RunReport Collector::snapshot(const std::string& tool, double wall_ms,
+                              const RooflineParams& p) const {
+  RunReport r;
+  r.tool = tool;
+  r.wall_ms = wall_ms;
+  r.roofline = p;
+  std::lock_guard<std::mutex> lk(mu_);
+  r.entries.reserve(rows_.size());
+  for (const auto& [key, row] : rows_) {
+    r.entries.push_back({row, attribute(row, p)});
+  }
+  r.serving.reserve(serving_.size());
+  for (const auto& [key, cell] : serving_) r.serving.push_back(cell);
+  return r;
+}
+
+void Collector::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  rows_.clear();
+  serving_.clear();
+}
+
+std::size_t Collector::row_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rows_.size();
+}
+
+std::string write_report_files(const std::string& title, double wall_ms) {
+  const std::string dir = report_dir();
+  if (dir.empty()) {
+    throw std::runtime_error("report: VLACNN_REPORT not set");
+  }
+  std::filesystem::create_directories(dir);
+  const std::string slug = slugify(title);
+  const RunReport r = Collector::global().snapshot(slug, wall_ms);
+  const std::string json_path = dir + "/" + slug + ".report.json";
+  const std::string csv_path = dir + "/" + slug + ".report.csv";
+  {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) throw std::runtime_error("report: cannot write " + json_path);
+    out << r.to_json();
+  }
+  {
+    std::ofstream out(csv_path, std::ios::trunc);
+    if (!out) throw std::runtime_error("report: cannot write " + csv_path);
+    out << r.to_csv();
+  }
+  obs::log(obs::LogLevel::kInfo, "report", "written",
+           {{"path", json_path},
+            {"entries", std::to_string(r.entries.size())},
+            {"serving_cells", std::to_string(r.serving.size())}});
+  return json_path;
+}
+
+void arm_exit_report(const std::string& title) {
+  if (!enabled()) return;
+  // Touch the collector singleton before registering the hook: exit handlers
+  // run in reverse registration order, so constructing it first (its
+  // destructor registers with the same atexit machinery) guarantees it is
+  // still alive when the hook below snapshots it.
+  Collector::global();
+  {
+    std::lock_guard<std::mutex> lk(g_arm_mu);
+    if (!g_armed_title.empty()) return;  // first title wins
+    g_armed_title = title;
+    g_epoch = std::chrono::steady_clock::now();
+  }
+  std::atexit([] {
+    std::string title;
+    {
+      std::lock_guard<std::mutex> lk(g_arm_mu);
+      title = g_armed_title;
+    }
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - g_epoch)
+                               .count();
+    try {
+      write_report_files(title, wall_ms);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "vlacnn report: %s\n", e.what());
+    }
+  });
+}
+
+}  // namespace vlacnn::report

@@ -1,0 +1,135 @@
+// Structured run reports: per-grid-point cycle attribution, roofline
+// classification, serving-grid snapshots, JSON/CSV emitters, and the
+// baseline-diff used by the perf-regression gate (tools/vlacnn-report,
+// scripts/ci.sh). See DESIGN.md §9 for schema and methodology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/results_db.h"
+
+namespace vlacnn::report {
+
+/// Machine model behind the roofline classification. Defaults mirror the
+/// simulator: each lane retires one FMA (2 flops) per cycle, and DRAM streams
+/// MemConfig::mem_bytes_per_cycle (6.4 B/cycle at the paper's 2 GHz clock).
+struct RooflineParams {
+  double flops_per_lane_per_cycle = 2.0;
+  double mem_bytes_per_cycle = 6.4;
+
+  double peak_flops_per_cycle(std::uint32_t lanes) const {
+    return flops_per_lane_per_cycle * static_cast<double>(lanes);
+  }
+  /// Arithmetic intensity at which the compute roof meets the bandwidth roof.
+  double ridge(std::uint32_t lanes) const {
+    return peak_flops_per_cycle(lanes) / mem_bytes_per_cycle;
+  }
+};
+
+enum class Bound { kCompute, kBandwidth, kDegenerate };
+const char* to_string(Bound b);
+Bound bound_from_string(const std::string& s);
+
+/// Derived attribution for one sweep row. Degenerate inputs are clamped and
+/// labeled rather than leaking inf/NaN into emitters ("ai": inf is not valid
+/// JSON): `degenerate` is "" for a healthy row, else one of "zero_cycles",
+/// "zero_dram_bytes", "missing_breakdown". Non-finite fields serialize as
+/// JSON null.
+struct Attribution {
+  double vec_utilization = 0;           ///< vec_elems / (lanes * cycles); NaN if unknown
+  double arith_intensity = 0;           ///< flops / DRAM bytes; +inf when bytes==0
+  double achieved_flops_per_cycle = 0;  ///< flops / cycles
+  double attainable_flops_per_cycle = 0;  ///< min(peak, ai * bandwidth)
+  double roofline_efficiency = 0;       ///< achieved / attainable, in [0,1]-ish
+  double l1_miss_rate = 0;              ///< bd misses/accesses; NaN if unknown
+  double l2_miss_rate = 0;              ///< bd misses/accesses; NaN if unknown
+  Bound bound = Bound::kDegenerate;
+  std::string degenerate;               ///< "" or the degeneracy label
+};
+
+Attribution attribute(const SweepRow& row, const RooflineParams& p);
+
+/// One serving-grid cell (mirrors serving::ServingEval without depending on
+/// src/serving/, which sits above the report layer in the link order).
+struct ServingCell {
+  int cores = 1;
+  std::uint32_t vlen_bits = 512;
+  std::uint64_t l2_total_bytes = 0;
+  int instances = 1;
+  double cycles_per_image = 0;
+  double images_per_cycle = 0;
+  double area_mm2 = 0;
+};
+
+struct ReportEntry {
+  SweepRow row;
+  Attribution attr;
+};
+
+/// A complete run report: every sweep row touched by the run (deterministic
+/// key order) plus any serving cells, with attribution precomputed.
+struct RunReport {
+  std::string tool;       ///< slug naming the producing driver
+  double wall_ms = 0;     ///< wall-clock of the producing run
+  RooflineParams roofline;
+  std::vector<ReportEntry> entries;  ///< sorted by SweepKey
+  std::vector<ServingCell> serving;
+
+  double total_cycles() const;
+  std::string to_json() const;
+  std::string to_csv() const;
+};
+
+/// Stable human/diff key for one grid point, e.g.
+/// "vgg16/L03/gemm6/vlen1024/l2:4194304/lanes8/int".
+std::string entry_key(const SweepKey& k);
+
+/// Parse a report emitted by to_json(). Attribution is recomputed from the
+/// stored raw numbers and roofline params (the derived fields in the file are
+/// for human consumption, not trusted). Throws std::runtime_error on
+/// malformed or wrong-schema input.
+RunReport report_from_json(const std::string& text);
+
+struct DiffOptions {
+  double cycle_budget_pct = 2.0;
+  /// Wall-time gating is opt-in: wall clock is noisy across machines, so the
+  /// gate only checks it when a non-negative budget is given explicitly.
+  double wall_budget_pct = -1.0;
+};
+
+struct DiffDelta {
+  std::string key;
+  double base = 0;
+  double cur = 0;
+  double delta_pct = 0;  ///< +inf when base == 0 and cur > 0
+};
+
+struct DiffResult {
+  std::vector<DiffDelta> regressions;   ///< per-key cycles over budget
+  std::vector<DiffDelta> improvements;  ///< per-key cycles under -budget
+  std::vector<std::string> only_base;   ///< keys missing from current
+  std::vector<std::string> only_cur;    ///< keys missing from baseline
+  DiffDelta total;                      ///< summed cycles over shared keys
+  bool total_regressed = false;
+  DiffDelta wall;                       ///< wall_ms (checked only if opted in)
+  bool wall_regressed = false;
+  std::size_t compared = 0;             ///< shared keys
+
+  /// Gate verdict: no per-key, total, or (opted-in) wall regression.
+  bool ok() const {
+    return regressions.empty() && !total_regressed && !wall_regressed;
+  }
+};
+
+DiffResult diff_reports(const RunReport& base, const RunReport& cur,
+                        const DiffOptions& opt);
+
+/// ASCII attribution/roofline table for `vlacnn-report summarize`.
+std::string summarize(const RunReport& r);
+
+/// Render a diff for humans (used by `vlacnn-report diff`).
+std::string diff_to_string(const DiffResult& d, const DiffOptions& opt);
+
+}  // namespace vlacnn::report

@@ -6,6 +6,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "report/collector.h"
 
 namespace vlacnn {
 
@@ -53,6 +54,11 @@ ServingEval ServingSimulator::evaluate(const Network& net,
   e.images_per_cycle = static_cast<double>(point.instances) / cycles;
   e.area_mm2 =
       area_.chip_mm2(point.vlen_bits, point.l2_total_bytes, point.cores);
+  if (report::enabled()) {
+    report::Collector::global().record_serving(
+        {point.cores, point.vlen_bits, point.l2_total_bytes, point.instances,
+         e.cycles_per_image, e.images_per_cycle, e.area_mm2});
+  }
   return e;
 }
 

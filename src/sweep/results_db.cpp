@@ -39,11 +39,28 @@ struct DbMetrics {
   }
 };
 
-const std::vector<std::string> kHeader = {
+// v1 schema: headline numbers only. Still loadable; the loader heals such
+// files by rewriting them under the current header, with the breakdown
+// columns left empty until a report-enabled run upgrades the row.
+const std::vector<std::string> kHeaderV1 = {
     "net",     "layer",  "algo",    "vlen",        "l2_bytes",
     "lanes",   "attach", "ic",      "ih",          "iw",
     "oc",      "kh",     "kw",      "stride",      "pad",
     "cycles",  "avg_vl", "l2_miss_rate", "mem_bytes", "flops"};
+
+// v2 schema: v1 plus the cycle-attribution breakdown. The ten breakdown
+// columns are either all populated or all empty on a given row (empty =
+// loaded from a v1 cache, breakdown unknown).
+const std::vector<std::string> kHeader = [] {
+  std::vector<std::string> h = kHeaderV1;
+  const char* extra[] = {"compute_cycles", "mem_issue_cycles",
+                         "mem_stall_cycles", "scalar_cycles",
+                         "vec_instructions", "vec_elems",
+                         "l1_accesses", "l1_misses",
+                         "l2_accesses", "l2_misses"};
+  h.insert(h.end(), std::begin(extra), std::end(extra));
+  return h;
+}();
 
 std::string fmt(double v) {
   // %.17g round-trips every IEEE-754 double exactly: a reloaded cache is
@@ -55,26 +72,38 @@ std::string fmt(double v) {
 }
 
 std::vector<std::string> to_fields(const SweepRow& r) {
-  return {r.key.net,
-          std::to_string(r.key.layer),
-          to_string(r.key.algo),
-          std::to_string(r.key.vlen_bits),
-          std::to_string(r.key.l2_bytes),
-          std::to_string(r.key.lanes),
-          r.key.attach == VpuAttach::kIntegratedL1 ? "int" : "dec",
-          std::to_string(r.desc.ic),
-          std::to_string(r.desc.ih),
-          std::to_string(r.desc.iw),
-          std::to_string(r.desc.oc),
-          std::to_string(r.desc.kh),
-          std::to_string(r.desc.kw),
-          std::to_string(r.desc.stride),
-          std::to_string(r.desc.pad),
-          fmt(r.cycles),
-          fmt(r.avg_vl),
-          fmt(r.l2_miss_rate),
-          fmt(r.mem_bytes),
-          fmt(r.flops)};
+  std::vector<std::string> f = {
+      r.key.net,
+      std::to_string(r.key.layer),
+      to_string(r.key.algo),
+      std::to_string(r.key.vlen_bits),
+      std::to_string(r.key.l2_bytes),
+      std::to_string(r.key.lanes),
+      r.key.attach == VpuAttach::kIntegratedL1 ? "int" : "dec",
+      std::to_string(r.desc.ic),
+      std::to_string(r.desc.ih),
+      std::to_string(r.desc.iw),
+      std::to_string(r.desc.oc),
+      std::to_string(r.desc.kh),
+      std::to_string(r.desc.kw),
+      std::to_string(r.desc.stride),
+      std::to_string(r.desc.pad),
+      fmt(r.cycles),
+      fmt(r.avg_vl),
+      fmt(r.l2_miss_rate),
+      fmt(r.mem_bytes),
+      fmt(r.flops)};
+  if (r.has_breakdown) {
+    for (double v : {r.bd.compute_cycles, r.bd.mem_issue_cycles,
+                     r.bd.mem_stall_cycles, r.bd.scalar_cycles,
+                     r.bd.vec_instructions, r.bd.vec_elems, r.bd.l1_accesses,
+                     r.bd.l1_misses, r.bd.l2_accesses, r.bd.l2_misses}) {
+      f.push_back(fmt(v));
+    }
+  } else {
+    f.insert(f.end(), kHeader.size() - kHeaderV1.size(), std::string());
+  }
+  return f;
 }
 
 std::string join_fields(const std::vector<std::string>& fields) {
@@ -137,6 +166,26 @@ SweepRow row_from_fields(const std::vector<std::string>& f) {
   r.l2_miss_rate = field_double(f[17]);
   r.mem_bytes = field_double(f[18]);
   r.flops = field_double(f[19]);
+  if (f.size() == kHeaderV1.size()) return r;  // v1 row: no breakdown
+  std::size_t empties = 0;
+  for (std::size_t i = kHeaderV1.size(); i < f.size(); ++i) {
+    if (f[i].empty()) ++empties;
+  }
+  if (empties == kHeader.size() - kHeaderV1.size()) return r;  // unknown
+  if (empties != 0) {
+    throw std::invalid_argument("breakdown columns must be all set or all empty");
+  }
+  r.has_breakdown = true;
+  r.bd.compute_cycles = field_double(f[20]);
+  r.bd.mem_issue_cycles = field_double(f[21]);
+  r.bd.mem_stall_cycles = field_double(f[22]);
+  r.bd.scalar_cycles = field_double(f[23]);
+  r.bd.vec_instructions = field_double(f[24]);
+  r.bd.vec_elems = field_double(f[25]);
+  r.bd.l1_accesses = field_double(f[26]);
+  r.bd.l1_misses = field_double(f[27]);
+  r.bd.l2_accesses = field_double(f[28]);
+  r.bd.l2_misses = field_double(f[29]);
   return r;
 }
 
@@ -147,11 +196,14 @@ ResultsDb::ResultsDb(std::string path) : path_(std::move(path)) {
   opts.tolerate_partial_tail = true;
   CsvTable t = read_csv_file(path_, opts);
   if (t.header.empty()) return;
-  if (t.header != kHeader) {
+  // An old-schema (v1) cache loads fine — the headline numbers are unchanged
+  // — but is healed onto the current schema so subsequent appends line up.
+  const bool old_schema = t.header == kHeaderV1;
+  if (!old_schema && t.header != kHeader) {
     throw std::runtime_error("results_db: incompatible cache file " + path_ +
                              " (delete it to regenerate)");
   }
-  bool heal = t.dropped_partial_tail;
+  bool heal = t.dropped_partial_tail || old_schema;
   if (!t.complete_tail && !t.dropped_partial_tail && !t.rows.empty()) {
     // Right field count but no trailing newline: the final field may have been
     // cut mid-write (put() flushes whole lines, so only a crash produces

@@ -45,6 +45,22 @@ struct SweepKey {
   bool operator<(const SweepKey& o) const { return tie() < o.tie(); }
 };
 
+/// Cycle-attribution breakdown of one simulation point, mirroring the
+/// TimingStats buckets. Carried by the v2 cache schema so the report layer
+/// (src/report/) can attribute cycles without re-simulating.
+struct SweepBreakdown {
+  double compute_cycles = 0;
+  double mem_issue_cycles = 0;
+  double mem_stall_cycles = 0;
+  double scalar_cycles = 0;
+  double vec_instructions = 0;
+  double vec_elems = 0;
+  double l1_accesses = 0;  ///< line probes at the VPU-facing level
+  double l1_misses = 0;
+  double l2_accesses = 0;
+  double l2_misses = 0;
+};
+
 struct SweepRow {
   SweepKey key;
   ConvLayerDesc desc;
@@ -53,6 +69,11 @@ struct SweepRow {
   double l2_miss_rate = 0;
   double mem_bytes = 0;
   double flops = 0;
+  /// False for rows loaded from a v1 (pre-breakdown) cache file: the headline
+  /// numbers are valid but `bd` is all zeros. A report-enabled run upgrades
+  /// such rows by re-simulating (see SweepDriver::get).
+  bool has_breakdown = false;
+  SweepBreakdown bd;
 };
 
 /// CSV-backed, thread-safe store. Loads existing rows at construction; put()
@@ -74,8 +95,9 @@ class ResultsDb {
   std::size_t size() const;
   const std::string& path() const { return path_; }
 
-  /// True when construction found (and repaired) a truncated trailing row or
-  /// a file that did not end in a newline.
+  /// True when construction found (and repaired) a truncated trailing row, a
+  /// file that did not end in a newline, or an old-schema (v1, pre-breakdown)
+  /// cache that was rewritten in the current schema.
   bool healed_on_load() const { return healed_on_load_; }
 
  private:

@@ -10,8 +10,39 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "report/collector.h"
 
 namespace vlacnn {
+
+namespace {
+
+/// A SweepRow, including the full cycle-attribution breakdown, from one
+/// simulation's TimingStats.
+SweepRow row_from_stats(const SweepKey& key, const ConvLayerDesc& desc,
+                        const TimingStats& stats) {
+  SweepRow r;
+  r.key = key;
+  r.desc = desc;
+  r.cycles = stats.cycles;
+  r.avg_vl = stats.avg_vl();
+  r.l2_miss_rate = stats.l2_miss_rate();
+  r.mem_bytes = stats.mem_bytes;
+  r.flops = stats.flops;
+  r.has_breakdown = true;
+  r.bd.compute_cycles = stats.compute_cycles;
+  r.bd.mem_issue_cycles = stats.mem_issue_cycles;
+  r.bd.mem_stall_cycles = stats.mem_stall_cycles;
+  r.bd.scalar_cycles = stats.scalar_cycles;
+  r.bd.vec_instructions = stats.vec_instructions;
+  r.bd.vec_elems = stats.vec_elems;
+  r.bd.l1_accesses = stats.first_level_accesses;
+  r.bd.l1_misses = stats.first_level_misses;
+  r.bd.l2_accesses = stats.l2_accesses;
+  r.bd.l2_misses = stats.l2_misses;
+  return r;
+}
+
+}  // namespace
 
 std::vector<std::uint32_t> paper2_vlens() { return {512, 1024, 2048, 4096}; }
 std::vector<std::uint64_t> paper2_l2_sizes() {
@@ -44,7 +75,7 @@ SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
                           std::uint32_t vlen_bits, std::uint64_t l2_bytes,
                           std::uint32_t lanes, VpuAttach attach) {
   SweepKey key{net_name, conv_ordinal, algo, vlen_bits, l2_bytes, lanes, attach};
-  const SweepRow row = db_->get_or_compute(key, [&] {
+  SweepRow row = db_->get_or_compute(key, [&] {
     // Only cache misses reach this lambda, so the span/sim-point metrics
     // count actual simulations, tagged with the full grid coordinate.
     obs::Span span("sweep.sim");
@@ -63,15 +94,7 @@ SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
           obs::Registry::global().counter("sweep.sim_points");
       points.add();
     }
-    SweepRow r;
-    r.key = key;
-    r.desc = desc;
-    r.cycles = stats.cycles;
-    r.avg_vl = stats.avg_vl();
-    r.l2_miss_rate = stats.l2_miss_rate();
-    r.mem_bytes = stats.mem_bytes;
-    r.flops = stats.flops;
-    return r;
+    return row_from_stats(key, desc, stats);
   });
   if (!(row.desc == desc)) {
     throw std::runtime_error(
@@ -79,6 +102,21 @@ SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
         " layer " + std::to_string(conv_ordinal) +
         " (stale cache? delete " + db_->path() + ")");
   }
+  if (!row.has_breakdown && report::enabled()) {
+    // Lazy upgrade of rows loaded from a v1 (pre-breakdown) cache: only
+    // report-enabled runs pay the re-simulation, and only for the points they
+    // actually touch. Concurrent upgraders of the same key waste a sim but
+    // produce identical rows (the simulation is deterministic), so put() is
+    // a benign overwrite.
+    obs::Span span("sweep.upgrade");
+    if (span.active()) span.arg("net", net_name);
+    SimConfig config = make_sim_config(vlen_bits, l2_bytes, lanes, attach);
+    config.sampler.exact = repro_exact_mode();
+    const TimingStats stats = conv_simulate(algo, desc, config);
+    row = row_from_stats(key, desc, stats);
+    db_->put(row);
+  }
+  if (report::enabled()) report::Collector::global().record_row(row);
   return row;
 }
 

@@ -47,6 +47,18 @@ struct TimingConfig {
 enum class MemPattern { kUnit, kStrided, kIndexed };
 
 /// Scaled statistics accumulated over a simulation.
+///
+/// Accounting invariant: the four cycle buckets exactly partition `cycles` —
+/// every event that advances `cycles` charges the same amount to exactly one
+/// bucket (compute for vector arithmetic/reductions, mem_issue for vector
+/// memory occupancy, mem_stall for the stall the memory system adds on top,
+/// scalar for scalar ops/memory and software prefetch overhead). So
+/// bucket_sum() == cycles up to floating-point reassociation: the buckets sum
+/// in a different order than `cycles` accumulates, so tests must compare with
+/// a relative tolerance (~1e-9), not bitwise (see
+/// TimingModel.BucketsReconcileWithTotalForEveryAlgorithm in
+/// tests/test_vpu.cpp). The report layer relies on this to present the
+/// split as percentages of the total.
 struct TimingStats {
   double cycles = 0;
   double compute_cycles = 0;     // vector arithmetic occupancy
@@ -64,6 +76,12 @@ struct TimingStats {
 
   double avg_vl() const {
     return vec_instructions > 0 ? vec_elems / vec_instructions : 0.0;
+  }
+  /// Sum of the four attribution buckets; equals `cycles` up to FP
+  /// reassociation (see the invariant above).
+  double bucket_sum() const {
+    return compute_cycles + mem_issue_cycles + mem_stall_cycles +
+           scalar_cycles;
   }
   double l2_miss_rate() const {
     return l2_accesses > 0 ? l2_misses / l2_accesses : 0.0;

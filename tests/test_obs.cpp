@@ -367,6 +367,44 @@ TEST(ObsRegistry, ReportJsonParsesBack) {
   EXPECT_EQ(h->find("buckets")->array.size(), 2u);  // bucket 0 and [512,1024)
 }
 
+TEST(ObsRegistry, ExitReportJsonParsesBack) {
+  // VLACNN_METRICS=json exit output must stay machine-parseable: run the
+  // actual exit-hook body against a temp stream and parse it back with the
+  // same JSON parser the trace schema test uses, locking the schema down.
+  ScopedMetrics on(obs::ReportMode::kJson);
+  obs::Registry::global().counter("exit_report.test_marker").add(7);
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  obs::write_exit_report(f);
+  std::rewind(f);
+  std::string json;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) json.append(buf, n);
+  std::fclose(f);
+  ASSERT_FALSE(json.empty());
+  const JsonValue root = JsonParser(json).parse();
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* marker = counters->find("exit_report.test_marker");
+  ASSERT_NE(marker, nullptr);
+  EXPECT_GE(marker->number, 7.0);
+  EXPECT_NE(root.find("gauges"), nullptr);
+  EXPECT_NE(root.find("histograms"), nullptr);
+}
+
+TEST(ObsRegistry, ExitReportOffWritesNothing) {
+  ScopedMetrics off(obs::ReportMode::kOff);
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  obs::write_exit_report(f);
+  std::fflush(f);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_EQ(std::ftell(f), 0L);
+  std::fclose(f);
+}
+
 TEST(ObsMetrics, DisabledByDefaultWithoutEnv) {
   if (std::getenv("VLACNN_METRICS") != nullptr) {
     GTEST_SKIP() << "VLACNN_METRICS set in the environment";

@@ -1,0 +1,401 @@
+// Report subsystem: attribution math (including the degenerate-input guards),
+// roofline classification, JSON emit/parse round-trip, the baseline diff the
+// regression gate runs on, collector determinism, and the sweep driver's
+// breakdown threading (cold fill + lazy upgrade of v1 rows).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "report/collector.h"
+#include "report/json.h"
+#include "report/report.h"
+#include "sweep/sweep.h"
+
+namespace vlacnn {
+namespace {
+
+using report::Attribution;
+using report::Bound;
+using report::DiffOptions;
+using report::DiffResult;
+using report::RooflineParams;
+using report::RunReport;
+
+SweepRow healthy_row(int layer = 0, Algo algo = Algo::kGemm6) {
+  SweepRow r;
+  r.key = SweepKey{"tiny", layer, algo, 512, 1u << 20, 8,
+                   VpuAttach::kIntegratedL1};
+  r.desc = ConvLayerDesc{3, 32, 32, 8, 3, 3, 1, 1};
+  r.cycles = 1000.0;
+  r.avg_vl = 14.0;
+  r.l2_miss_rate = 0.25;
+  r.mem_bytes = 4096.0;
+  r.flops = 64000.0;
+  r.has_breakdown = true;
+  r.bd.compute_cycles = 400.0;
+  r.bd.mem_issue_cycles = 300.0;
+  r.bd.mem_stall_cycles = 200.0;
+  r.bd.scalar_cycles = 100.0;
+  r.bd.vec_instructions = 500.0;
+  r.bd.vec_elems = 7000.0;
+  r.bd.l1_accesses = 1000.0;
+  r.bd.l1_misses = 50.0;
+  r.bd.l2_accesses = 50.0;
+  r.bd.l2_misses = 10.0;
+  return r;
+}
+
+/// Point the collector at a temp dir for one test, restoring "off" after.
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vlacnn_report_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    report::Collector::global().reset();
+  }
+  void TearDown() override {
+    report::set_report_dir("");
+    report::Collector::global().reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ------------------------------------------------------- attribution -------
+
+TEST(ReportAttribution, RooflineClassification) {
+  const RooflineParams p;  // peak = 16 flops/cycle @ 8 lanes, ridge = 2.5
+  SweepRow r = healthy_row();
+  // AI = 64000/4096 = 15.625 >= ridge -> compute-bound.
+  Attribution a = report::attribute(r, p);
+  EXPECT_EQ(a.bound, Bound::kCompute);
+  EXPECT_TRUE(a.degenerate.empty());
+  EXPECT_DOUBLE_EQ(a.arith_intensity, 15.625);
+  EXPECT_DOUBLE_EQ(a.achieved_flops_per_cycle, 64.0);
+  EXPECT_DOUBLE_EQ(a.attainable_flops_per_cycle, 16.0);  // capped at peak
+  EXPECT_DOUBLE_EQ(a.vec_utilization, 7000.0 / (8.0 * 1000.0));
+  EXPECT_DOUBLE_EQ(a.l1_miss_rate, 0.05);
+  EXPECT_DOUBLE_EQ(a.l2_miss_rate, 0.2);
+
+  // Low AI -> bandwidth-bound, attainable = AI * bandwidth below the roof.
+  r.flops = 1000.0;  // AI = 1000/4096 ~ 0.244 < 2.5
+  a = report::attribute(r, p);
+  EXPECT_EQ(a.bound, Bound::kBandwidth);
+  EXPECT_DOUBLE_EQ(a.attainable_flops_per_cycle,
+                   1000.0 / 4096.0 * p.mem_bytes_per_cycle);
+}
+
+TEST(ReportAttribution, ZeroCyclesIsClampedAndLabeled) {
+  SweepRow r = healthy_row();
+  r.cycles = 0;
+  const Attribution a = report::attribute(r, RooflineParams{});
+  EXPECT_EQ(a.bound, Bound::kDegenerate);
+  EXPECT_EQ(a.degenerate, "zero_cycles");
+  EXPECT_DOUBLE_EQ(a.vec_utilization, 0.0);          // clamped, not NaN
+  EXPECT_DOUBLE_EQ(a.achieved_flops_per_cycle, 0.0);  // clamped, not inf
+  EXPECT_DOUBLE_EQ(a.roofline_efficiency, 0.0);
+}
+
+TEST(ReportAttribution, ZeroDramBytesGivesInfiniteAiButValidJson) {
+  SweepRow r = healthy_row();
+  r.mem_bytes = 0;
+  const Attribution a = report::attribute(r, RooflineParams{});
+  EXPECT_TRUE(std::isinf(a.arith_intensity));
+  EXPECT_EQ(a.degenerate, "zero_dram_bytes");
+  EXPECT_EQ(a.bound, Bound::kCompute);  // everything served from cache
+  EXPECT_DOUBLE_EQ(a.attainable_flops_per_cycle, 16.0);  // the compute roof
+
+  // "ai": inf would be invalid JSON; the emitter must produce null and the
+  // whole document must still parse.
+  RunReport rep;
+  rep.tool = "t";
+  rep.entries.push_back({r, a});
+  const std::string json = rep.to_json();
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  const report::Json doc = report::parse_json(json);
+  const report::Json& attr =
+      doc.at("entries").array.at(0).at("attribution");
+  EXPECT_TRUE(attr.at("arith_intensity").is_null());
+  EXPECT_EQ(attr.at("degenerate").string, "zero_dram_bytes");
+}
+
+TEST(ReportAttribution, MissingBreakdownLabeled) {
+  SweepRow r = healthy_row();
+  r.has_breakdown = false;
+  const Attribution a = report::attribute(r, RooflineParams{});
+  EXPECT_EQ(a.degenerate, "missing_breakdown");
+  EXPECT_TRUE(std::isnan(a.vec_utilization));
+  EXPECT_TRUE(std::isnan(a.l1_miss_rate));
+  EXPECT_EQ(a.bound, Bound::kCompute);  // headline AI is still classifiable
+
+  RunReport rep;
+  rep.tool = "t";
+  rep.entries.push_back({r, a});
+  const report::Json doc = report::parse_json(rep.to_json());
+  const report::Json& e = doc.at("entries").array.at(0);
+  EXPECT_TRUE(e.at("breakdown").is_null());
+  EXPECT_TRUE(e.at("attribution").at("vec_utilization").is_null());
+}
+
+// --------------------------------------------------- JSON round-trip -------
+
+TEST(ReportJson, EmitParseRoundTripIsExact) {
+  RunReport rep;
+  rep.tool = "roundtrip";
+  rep.wall_ms = 12.25;
+  SweepRow r1 = healthy_row(0, Algo::kGemm6);
+  r1.cycles = 1.0 / 3.0;  // %.17g must survive the trip bit-exactly
+  SweepRow r2 = healthy_row(1, Algo::kDirect);
+  r2.has_breakdown = false;
+  rep.entries.push_back({r1, report::attribute(r1, rep.roofline)});
+  rep.entries.push_back({r2, report::attribute(r2, rep.roofline)});
+  rep.serving.push_back({4, 1024, 16u << 20, 4, 5e8, 8e-9, 12.5});
+
+  const RunReport back = report::report_from_json(rep.to_json());
+  EXPECT_EQ(back.tool, "roundtrip");
+  EXPECT_EQ(back.wall_ms, 12.25);
+  ASSERT_EQ(back.entries.size(), 2u);
+  const SweepRow& b1 = back.entries[0].row;
+  EXPECT_TRUE(!(b1.key < r1.key) && !(r1.key < b1.key));
+  EXPECT_EQ(b1.cycles, r1.cycles);  // bit-exact, not NEAR
+  EXPECT_EQ(b1.desc, r1.desc);
+  ASSERT_TRUE(b1.has_breakdown);
+  EXPECT_EQ(b1.bd.vec_elems, r1.bd.vec_elems);
+  EXPECT_FALSE(back.entries[1].row.has_breakdown);
+  ASSERT_EQ(back.serving.size(), 1u);
+  EXPECT_EQ(back.serving[0].cycles_per_image, 5e8);
+  EXPECT_EQ(back.serving[0].instances, 4);
+  EXPECT_EQ(back.total_cycles(), rep.total_cycles());
+}
+
+TEST(ReportJson, RejectsWrongSchema) {
+  EXPECT_THROW(report::report_from_json("{\"schema\": \"other.v9\"}"),
+               std::runtime_error);
+  EXPECT_THROW(report::report_from_json("{]"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- diff -----
+
+TEST(ReportDiff, IdenticalReportsAreOk) {
+  RunReport rep;
+  rep.tool = "t";
+  for (int i = 0; i < 3; ++i) {
+    SweepRow r = healthy_row(i);
+    rep.entries.push_back({r, report::attribute(r, rep.roofline)});
+  }
+  const DiffResult d = report::diff_reports(rep, rep, DiffOptions{});
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(d.compared, 3u);
+  EXPECT_TRUE(d.regressions.empty());
+  EXPECT_TRUE(d.improvements.empty());
+  EXPECT_EQ(d.total.delta_pct, 0.0);
+}
+
+TEST(ReportDiff, TenPercentPerturbationFailsTwoPercentBudget) {
+  RunReport base;
+  base.tool = "t";
+  for (int i = 0; i < 3; ++i) {
+    SweepRow r = healthy_row(i);
+    base.entries.push_back({r, report::attribute(r, base.roofline)});
+  }
+  RunReport cur = base;
+  cur.entries[1].row.cycles *= 1.10;  // +10% on one grid point
+
+  DiffOptions opt;  // default 2% budget
+  const DiffResult d = report::diff_reports(base, cur, opt);
+  EXPECT_FALSE(d.ok());
+  ASSERT_EQ(d.regressions.size(), 1u);
+  EXPECT_NEAR(d.regressions[0].delta_pct, 10.0, 1e-9);
+  EXPECT_EQ(d.regressions[0].key,
+            report::entry_key(base.entries[1].row.key));
+
+  // A +10% *improvement* stays ok (improvements are reported, not gated).
+  RunReport faster = base;
+  faster.entries[1].row.cycles *= 0.90;
+  const DiffResult d2 = report::diff_reports(base, faster, opt);
+  EXPECT_TRUE(d2.ok());
+  EXPECT_EQ(d2.improvements.size(), 1u);
+}
+
+TEST(ReportDiff, DisjointKeysReportedButNotGated) {
+  RunReport base, cur;
+  SweepRow a = healthy_row(0), b = healthy_row(1);
+  base.entries.push_back({a, report::attribute(a, base.roofline)});
+  cur.entries.push_back({b, report::attribute(b, cur.roofline)});
+  const DiffResult d = report::diff_reports(base, cur, DiffOptions{});
+  EXPECT_TRUE(d.ok());
+  EXPECT_EQ(d.compared, 0u);
+  ASSERT_EQ(d.only_base.size(), 1u);
+  ASSERT_EQ(d.only_cur.size(), 1u);
+}
+
+TEST(ReportDiff, WallGatingIsOptIn) {
+  RunReport base, cur;
+  base.wall_ms = 100;
+  cur.wall_ms = 200;  // +100% wall
+  EXPECT_TRUE(report::diff_reports(base, cur, DiffOptions{}).ok());
+  DiffOptions opt;
+  opt.wall_budget_pct = 50;
+  EXPECT_FALSE(report::diff_reports(base, cur, opt).ok());
+}
+
+// ----------------------------------------------------------- collector -----
+
+TEST(ReportCollector, SlugifyTitles) {
+  EXPECT_EQ(report::slugify("Fig 1: per-layer algorithm comparison, VGG-16"),
+            "fig_1_per_layer_algorithm_comparison_vgg_16");
+  EXPECT_EQ(report::slugify("  --  "), "report");
+  EXPECT_EQ(report::slugify("plain"), "plain");
+}
+
+TEST_F(ReportTest, SnapshotIsDeterministicAcrossRecordOrder) {
+  auto& c = report::Collector::global();
+  const SweepRow r0 = healthy_row(0), r1 = healthy_row(1),
+                 r2 = healthy_row(2);
+  c.record_row(r1);
+  c.record_row(r0);
+  c.record_row(r2);
+  c.record_serving({4, 512, 4u << 20, 4, 1e6, 4e-6, 3.5});
+  c.record_serving({1, 512, 1u << 20, 1, 2e6, 0.5e-6, 1.5});
+  const std::string json_a = c.snapshot("t", 0).to_json();
+
+  c.reset();
+  c.record_row(r2);
+  c.record_serving({1, 512, 1u << 20, 1, 2e6, 0.5e-6, 1.5});
+  c.record_row(r0);
+  c.record_serving({4, 512, 4u << 20, 4, 1e6, 4e-6, 3.5});
+  c.record_row(r1);
+  const std::string json_b = c.snapshot("t", 0).to_json();
+  EXPECT_EQ(json_a, json_b);  // byte-identical regardless of arrival order
+}
+
+TEST_F(ReportTest, WriteReportFilesEmitsJsonAndCsv) {
+  report::set_report_dir(dir_.string());
+  ASSERT_TRUE(report::enabled());
+  report::Collector::global().record_row(healthy_row());
+  const std::string json_path =
+      report::write_report_files("My Fancy Title!", 42.5);
+  EXPECT_EQ(json_path, (dir_ / "my_fancy_title.report.json").string());
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const RunReport back = report::report_from_json(text);
+  EXPECT_EQ(back.tool, "my_fancy_title");
+  EXPECT_EQ(back.wall_ms, 42.5);
+  ASSERT_EQ(back.entries.size(), 1u);
+  EXPECT_TRUE(
+      std::filesystem::exists(dir_ / "my_fancy_title.report.csv"));
+  // summarize() must render every report without tripping on content.
+  EXPECT_NE(report::summarize(back).find("TOTAL"), std::string::npos);
+}
+
+// --------------------------------------- sweep driver integration ----------
+
+TEST_F(ReportTest, SweepFillsBreakdownAndCollectorReconciles) {
+  report::set_report_dir(dir_.string());
+  ResultsDb db((dir_ / "cache.csv").string());
+  SweepDriver driver(&db);
+  const ConvLayerDesc d{3, 32, 32, 8, 3, 3, 1, 1};
+  for (Algo a : kAllAlgos) {
+    driver.get("tiny", 0, d, a, 512, 1u << 20);
+  }
+  const RunReport rep = report::Collector::global().snapshot("t", 0);
+  ASSERT_EQ(rep.entries.size(), kAllAlgos.size());
+  for (const report::ReportEntry& e : rep.entries) {
+    ASSERT_TRUE(e.row.has_breakdown) << report::entry_key(e.row.key);
+    // The recorded cycle split must reconcile with the row's total.
+    const SweepBreakdown& bd = e.row.bd;
+    const double sum = bd.compute_cycles + bd.mem_issue_cycles +
+                       bd.mem_stall_cycles + bd.scalar_cycles;
+    EXPECT_NEAR(sum, e.row.cycles, e.row.cycles * 1e-9)
+        << report::entry_key(e.row.key);
+    EXPECT_TRUE(e.attr.degenerate.empty());
+  }
+}
+
+TEST_F(ReportTest, V1RowsAreLazilyUpgradedOnlyWhenReportingEnabled) {
+  const std::string cache = (dir_ / "cache.csv").string();
+  const ConvLayerDesc d{3, 32, 32, 8, 3, 3, 1, 1};
+  double v1_cycles = 0;
+  {
+    // Seed the cache, then strip the breakdown to emulate a v1-loaded row.
+    ResultsDb db(cache);
+    SweepDriver driver(&db);
+    SweepRow r = driver.get("tiny", 0, d, Algo::kGemm3, 512, 1u << 20);
+    v1_cycles = r.cycles;
+    r.has_breakdown = false;
+    r.bd = SweepBreakdown{};
+    db.put(r);
+  }
+  {
+    // Reporting disabled: the row stays breakdown-less (no hidden resim).
+    ResultsDb db(cache);
+    SweepDriver driver(&db);
+    const SweepRow r = driver.get("tiny", 0, d, Algo::kGemm3, 512, 1u << 20);
+    EXPECT_FALSE(r.has_breakdown);
+  }
+  {
+    // Reporting enabled: get() re-simulates, persists, and the upgraded row
+    // reproduces the original headline cycles bit-for-bit (the simulation is
+    // deterministic).
+    report::set_report_dir(dir_.string());
+    ResultsDb db(cache);
+    SweepDriver driver(&db);
+    const SweepRow r = driver.get("tiny", 0, d, Algo::kGemm3, 512, 1u << 20);
+    EXPECT_TRUE(r.has_breakdown);
+    EXPECT_EQ(r.cycles, v1_cycles);
+    report::set_report_dir("");
+  }
+  // The upgrade was persisted: a fresh (report-off) load sees the breakdown.
+  ResultsDb db(cache);
+  const auto hit = db.find(SweepKey{"tiny", 0, Algo::kGemm3, 512, 1u << 20, 8,
+                                    VpuAttach::kIntegratedL1});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->has_breakdown);
+  EXPECT_GT(hit->bd.compute_cycles, 0.0);
+}
+
+TEST_F(ReportTest, ParallelSweepReportMatchesSerialReport) {
+  // With reporting enabled, the report a parallel fan-out produces must be
+  // byte-identical to one built by serial get() calls over the same grid.
+  report::set_report_dir(dir_.string());
+  const ConvLayerDesc d{3, 32, 32, 8, 3, 3, 1, 1};
+  const ConvLayerDesc d2{8, 16, 16, 16, 1, 1, 1, 0};
+
+  ResultsDb serial_db((dir_ / "serial.csv").string());
+  SweepDriver serial(&serial_db);
+  for (int layer = 0; layer < 2; ++layer) {
+    for (Algo a : {Algo::kGemm3, Algo::kGemm6}) {
+      serial.get("tiny", layer, layer == 0 ? d : d2, a, 512, 1u << 20);
+    }
+  }
+  const std::string serial_json =
+      report::Collector::global().snapshot("t", 0).to_json();
+
+  report::Collector::global().reset();
+  ResultsDb par_db((dir_ / "parallel.csv").string());
+  SweepDriver parallel(&par_db);
+  std::vector<SweepRequest> reqs;
+  for (Algo a : {Algo::kGemm3, Algo::kGemm6}) {
+    for (int layer = 1; layer >= 0; --layer) {  // different order on purpose
+      reqs.push_back({"tiny", layer, layer == 0 ? d : d2, a, 512, 1u << 20, 8,
+                      VpuAttach::kIntegratedL1});
+    }
+  }
+  parallel.get_many(reqs);
+  const std::string parallel_json =
+      report::Collector::global().snapshot("t", 0).to_json();
+  EXPECT_EQ(serial_json, parallel_json);
+}
+
+}  // namespace
+}  // namespace vlacnn

@@ -92,6 +92,120 @@ TEST_F(ResultsDbTest, RoundTripIsBitExact) {
   }
 }
 
+TEST_F(ResultsDbTest, BreakdownRoundTripIsBitExact) {
+  const double nasty[] = {1.0 / 3.0, 3.141592653589793, 1e-300, 5e300,
+                          123456789.123456789};
+  {
+    ResultsDb db(path_);
+    int layer = 0;
+    for (double v : nasty) {
+      SweepRow r = make_row(layer++, Algo::kGemm6, v);
+      r.has_breakdown = true;
+      r.bd.compute_cycles = v * 0.4;
+      r.bd.mem_issue_cycles = v * 0.3;
+      r.bd.mem_stall_cycles = v * 0.2;
+      r.bd.scalar_cycles = v * 0.1;
+      r.bd.vec_instructions = v / 7.0;
+      r.bd.vec_elems = v / 3.0;
+      r.bd.l1_accesses = v / 11.0;
+      r.bd.l1_misses = v / 13.0;
+      r.bd.l2_accesses = v / 17.0;
+      r.bd.l2_misses = v / 19.0;
+      db.put(r);
+    }
+  }
+  ResultsDb db2(path_);
+  EXPECT_FALSE(db2.healed_on_load());
+  int layer = 0;
+  for (double v : nasty) {
+    const auto hit = db2.find(SweepKey{"tiny", layer++, Algo::kGemm6, 512,
+                                       1u << 20, 8, VpuAttach::kIntegratedL1});
+    ASSERT_TRUE(hit.has_value());
+    ASSERT_TRUE(hit->has_breakdown);
+    EXPECT_TRUE(bit_equal(hit->bd.compute_cycles, v * 0.4));
+    EXPECT_TRUE(bit_equal(hit->bd.mem_issue_cycles, v * 0.3));
+    EXPECT_TRUE(bit_equal(hit->bd.mem_stall_cycles, v * 0.2));
+    EXPECT_TRUE(bit_equal(hit->bd.scalar_cycles, v * 0.1));
+    EXPECT_TRUE(bit_equal(hit->bd.vec_instructions, v / 7.0));
+    EXPECT_TRUE(bit_equal(hit->bd.vec_elems, v / 3.0));
+    EXPECT_TRUE(bit_equal(hit->bd.l1_accesses, v / 11.0));
+    EXPECT_TRUE(bit_equal(hit->bd.l1_misses, v / 13.0));
+    EXPECT_TRUE(bit_equal(hit->bd.l2_accesses, v / 17.0));
+    EXPECT_TRUE(bit_equal(hit->bd.l2_misses, v / 19.0));
+  }
+}
+
+TEST_F(ResultsDbTest, RowsWithoutBreakdownPersistAsSuch) {
+  {
+    ResultsDb db(path_);
+    db.put(make_row(0, Algo::kGemm3, 100.5));  // make_row: no breakdown
+  }
+  ResultsDb db2(path_);
+  const auto hit = db2.find(SweepKey{"tiny", 0, Algo::kGemm3, 512, 1u << 20, 8,
+                                     VpuAttach::kIntegratedL1});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->has_breakdown);
+}
+
+TEST_F(ResultsDbTest, OldSchemaV1FileLoadsAndHealsToV2) {
+  // A pre-breakdown (v1) cache, exactly as PR 1 wrote it.
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream out(path_);
+    out << "net,layer,algo,vlen,l2_bytes,lanes,attach,ic,ih,iw,oc,kh,kw,"
+           "stride,pad,cycles,avg_vl,l2_miss_rate,mem_bytes,flops\n";
+    out << "tiny,0,gemm3,512,1048576,8,int,3,32,32,8,3,3,1,1,"
+           "100.5,13.699999999999999,0.123,4096,1000000000\n";
+    out << "tiny,1,direct,512,1048576,8,int,3,32,32,8,3,3,1,1,"
+           "200.25,13.699999999999999,0.123,4096,1000000000\n";
+  }
+  ResultsDb db(path_);
+  EXPECT_TRUE(db.healed_on_load());  // rewritten under the v2 header
+  EXPECT_EQ(db.size(), 2u);
+  const auto hit = db.find(SweepKey{"tiny", 0, Algo::kGemm3, 512, 1u << 20, 8,
+                                    VpuAttach::kIntegratedL1});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->has_breakdown);  // headline valid, breakdown unknown
+  EXPECT_TRUE(bit_equal(hit->cycles, 100.5));
+
+  // The healed file is v2: it reloads cleanly and accepts breakdown appends.
+  SweepRow up = make_row(2, Algo::kGemm6, 300.125);
+  up.has_breakdown = true;
+  up.bd.compute_cycles = 300.125;
+  db.put(up);
+  ResultsDb db2(path_);
+  EXPECT_FALSE(db2.healed_on_load());
+  EXPECT_EQ(db2.size(), 3u);
+  const std::string text = read_file();
+  EXPECT_NE(text.find("compute_cycles"), std::string::npos);
+  const auto hit2 = db2.find(up.key);
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_TRUE(hit2->has_breakdown);
+}
+
+TEST_F(ResultsDbTest, MixedBreakdownColumnsRejected) {
+  {
+    ResultsDb db(path_);
+    SweepRow r = make_row(0, Algo::kGemm3, 100.5);
+    r.has_breakdown = true;
+    db.put(r);
+    db.put(make_row(1, Algo::kDirect, 200.25));
+  }
+  // Blank out the first row's final breakdown field (l2_misses): breakdown
+  // columns must be all set or all empty, and since a good row follows, this
+  // is corruption (not a torn tail) and must throw.
+  std::string text = read_file();
+  const auto line_start = text.find("\ntiny,0,") + 1;
+  const auto line_end = text.find('\n', line_start);
+  const auto last_comma = text.rfind(',', line_end);
+  text.erase(last_comma + 1, line_end - last_comma - 1);
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    out << text;
+  }
+  EXPECT_THROW(ResultsDb db(path_), std::runtime_error);
+}
+
 TEST_F(ResultsDbTest, TruncatedTrailingRowIsDroppedAndHealed) {
   {
     ResultsDb db(path_);

@@ -2,6 +2,7 @@
 // functional/trace engine pair (including instruction-stream equivalence).
 #include <gtest/gtest.h>
 
+#include "algos/registry.h"
 #include "vpu/functional_engine.h"
 #include "vpu/timing_model.h"
 #include "vpu/trace_engine.h"
@@ -299,6 +300,26 @@ TEST(Engines, IdenticalTimingForIdenticalProgram) {
                    tm_f.stats().vec_instructions);
   EXPECT_DOUBLE_EQ(tm_t.stats().vec_elems, tm_f.stats().vec_elems);
   for (int i = 0; i < 40; ++i) EXPECT_FLOAT_EQ(fb[i], 2.0f);
+}
+
+// ------------------------------------------ cycle accounting invariant -----
+
+TEST(TimingModel, BucketsReconcileWithTotalForEveryAlgorithm) {
+  // The four attribution buckets must exactly partition `cycles` for every
+  // algorithm on a real end-to-end simulation (see the invariant documented
+  // on TimingStats). The buckets accumulate in a different order than the
+  // total, so the comparison is relative-tolerance, not bitwise.
+  const ConvLayerDesc d{16, 16, 16, 16, 3, 3, 1, 1};  // winograd-applicable
+  for (Algo a : kAllAlgos) {
+    ASSERT_TRUE(algo_applicable(a, d)) << to_string(a);
+    for (std::uint32_t vlen : {512u, 2048u}) {
+      const SimConfig config = make_sim_config(vlen, 1u << 20);
+      const TimingStats s = conv_simulate(a, d, config);
+      ASSERT_GT(s.cycles, 0.0) << to_string(a);
+      EXPECT_NEAR(s.cycles, s.bucket_sum(), s.cycles * 1e-9)
+          << to_string(a) << " @ vlen " << vlen;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+// vlacnn-report: inspect and gate on the structured run reports the bench
+// drivers emit under VLACNN_REPORT=<dir> (see DESIGN.md §9).
+//
+//   vlacnn-report summarize <report.json>
+//       ASCII attribution/roofline table of one report.
+//
+//   vlacnn-report diff <baseline.json> <current.json>
+//                      [--budget-pct N] [--wall-budget-pct N]
+//       Compare per-grid-point cycle counts against a committed baseline.
+//       Exit 0 when every shared point (and the total) is within the cycle
+//       budget (default 2%); exit 1 on any regression over budget. Wall time
+//       is only gated when --wall-budget-pct is given (wall clock is noisy
+//       across machines; cycles are deterministic).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "report/report.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s summarize <report.json>\n"
+               "       %s diff <baseline.json> <current.json> "
+               "[--budget-pct N] [--wall-budget-pct N]\n",
+               argv0, argv0);
+  return 2;
+}
+
+vlacnn::report::RunReport load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return vlacnn::report::report_from_json(ss.str());
+}
+
+double pct_arg(const char* flag, const char* value) {
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != std::string(value).size() || v < 0) {
+    throw std::runtime_error(std::string(flag) +
+                             " expects a non-negative number, got '" + value +
+                             "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vlacnn::report;
+  try {
+    if (argc < 2) return usage(argv[0]);
+    const std::string cmd = argv[1];
+    if (cmd == "summarize") {
+      if (argc != 3) return usage(argv[0]);
+      std::fputs(summarize(load(argv[2])).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "diff") {
+      if (argc < 4) return usage(argv[0]);
+      DiffOptions opt;
+      for (int i = 4; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if ((flag == "--budget-pct" || flag == "--wall-budget-pct") &&
+            i + 1 < argc) {
+          const double v = pct_arg(flag.c_str(), argv[++i]);
+          (flag == "--budget-pct" ? opt.cycle_budget_pct
+                                  : opt.wall_budget_pct) = v;
+        } else {
+          std::fprintf(stderr, "unknown or incomplete option '%s'\n",
+                       flag.c_str());
+          return usage(argv[0]);
+        }
+      }
+      const RunReport base = load(argv[2]);
+      const RunReport cur = load(argv[3]);
+      const DiffResult d = diff_reports(base, cur, opt);
+      std::fputs(diff_to_string(d, opt).c_str(), stdout);
+      return d.ok() ? 0 : 1;
+    }
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vlacnn-report: %s\n", e.what());
+    return 2;
+  }
+}
