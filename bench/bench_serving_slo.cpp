@@ -1,0 +1,147 @@
+// Beyond the paper: request-level serving under SLOs. The paper's Fig-12
+// study reports steady-state throughput/area; this bench layers the
+// discrete-event request simulator (src/serving/request_sim.h) on the same
+// cycle model to ask what users actually see — tail latency and SLO
+// attainment under bursty Poisson load — and what the cheapest chip is that
+// carries a target load within a deadline.
+//
+// Everything here is simulated cycles from seeded arrival processes: two runs
+// with the same seed print byte-identical numbers at any VLACNN_THREADS.
+#include <cinttypes>
+
+#include "bench_common.h"
+#include "serving/request_sim.h"
+
+using namespace vlacnn;
+using namespace vlacnn::bench;
+using namespace vlacnn::serving;
+
+namespace {
+
+constexpr double kHz = 2.0e9;  // presentation clock, as everywhere else
+
+void print_row(const char* label, const ServingStats& s) {
+  std::printf("%-16s %8.0f %8.0f %8.0f %8.0f %7.2f %6.1f%% %9.2f %7.2f%%\n",
+              label, ServingStats::ms(s.p50, kHz), ServingStats::ms(s.p95, kHz),
+              ServingStats::ms(s.p99, kHz), ServingStats::ms(s.p999, kHz),
+              s.mean_batch, s.utilization * 100.0, s.throughput_rps(kHz),
+              s.slo_attainment * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  banner("SLO serving: request-level latency, batching, capacity",
+         "beyond ICPP'24 (workload models after Clipper NSDI'17, "
+         "Clockwork OSDI'20)");
+  Env env;
+
+  // Fixed chip for the policy study: 16 cores x 2048-bit x 64MB shared L2,
+  // one VGG-16 instance per core (4MB exclusive slice each) — a mid-grid
+  // Pareto point of the Fig-12 study.
+  const ServingPoint chip{16, 2048, 64ull << 20, 16};
+  const BatchCostModel cost = batch_cost_model(
+      *env.driver, env.vgg16, chip.vlen_bits, chip.l2_slice_bytes(),
+      std::nullopt);
+  const double cap_rps =
+      static_cast<double>(chip.instances) / cost.first_image_cycles * kHz;
+  std::printf("\nchip: %d cores x %u-bit x %s shared L2, %d instances\n",
+              chip.cores, chip.vlen_bits, l2_str(chip.l2_total_bytes).c_str(),
+              chip.instances);
+  std::printf("cost model: first image %.0f cycles (%.2f ms), marginal %.0f "
+              "cycles (%.2f ms)\n",
+              cost.first_image_cycles,
+              ServingStats::ms(cost.first_image_cycles, kHz),
+              cost.marginal_image_cycles,
+              ServingStats::ms(cost.marginal_image_cycles, kHz));
+  std::printf("no-batch capacity %.1f req/s; offering 80%% of that\n", cap_rps);
+
+  const double load_rps = 0.8 * cap_rps;
+  const std::uint64_t kRequests = 4000;
+  const std::uint64_t kSeed = 42;
+  // The simulated VGG-16 runs at seconds-per-image on this grid (the cycle
+  // model is compute-bound end to end), so SLOs live in that regime too.
+  const double slo_ms = 4000.0;
+
+  RequestSimConfig rc;
+  rc.instances = chip.instances;
+  rc.cost = cost;
+  rc.slo_cycles = slo_ms * 1e-3 * kHz;
+
+  ArrivalSpec as;
+  as.kind = ArrivalSpec::Kind::kPoisson;
+  as.mean_interarrival_cycles = kHz / load_rps;
+  as.requests = kRequests;
+
+  std::printf("\nPoisson load, %" PRIu64 " requests, %.0f ms SLO:\n",
+              kRequests, slo_ms);
+  std::printf("%-16s %8s %8s %8s %8s %7s %7s %9s %8s\n", "policy", "p50ms",
+              "p95ms", "p99ms", "p999ms", "batch", "util", "req/s", "SLO");
+  const BatchPolicySpec policies[] = {
+      {BatchPolicySpec::Kind::kNoBatch, 1, 0},
+      {BatchPolicySpec::Kind::kMaxBatch, 4, 0},
+      {BatchPolicySpec::Kind::kAdaptive, 4, 2e8},   // 100 ms flush
+      {BatchPolicySpec::Kind::kAdaptive, 4, 2e9},   // 1 s flush
+  };
+  for (const BatchPolicySpec& ps : policies) {
+    const auto arrivals = make_arrivals(as, kSeed);
+    const auto policy = make_policy(ps);
+    const ServingStats s = simulate_requests(rc, *arrivals, *policy);
+    print_row(policy->name().c_str(), s);
+  }
+
+  // Closed-loop saturation: 64 clients with zero think time track the service
+  // rate instead of outrunning it — the sustained-throughput view.
+  {
+    ArrivalSpec cl;
+    cl.kind = ArrivalSpec::Kind::kClosedLoop;
+    cl.clients = 64;
+    cl.think_cycles = 0;
+    cl.requests = kRequests;
+    const auto arrivals = make_arrivals(cl, kSeed);
+    const auto policy =
+        make_policy({BatchPolicySpec::Kind::kMaxBatch, 4, 0});
+    const ServingStats s = simulate_requests(rc, *arrivals, *policy);
+    std::printf("\nclosed loop, 64 clients, maxbatch4: %.2f req/s sustained "
+                "at %.1f%% utilization (mean batch %.2f)\n",
+                s.throughput_rps(kHz), s.utilization * 100.0, s.mean_batch);
+  }
+
+  // Capacity planning headline: cheapest Fig-12 configuration that carries
+  // 20 req/s of Poisson VGG-16 traffic with 99% of requests inside 4 s.
+  CapacityPlanner planner(env.driver.get());
+  CapacityQuery q;
+  q.load_rps = 20;
+  q.slo_ms = 4000;
+  q.attainment_target = 0.99;
+  q.requests = 2000;
+  q.seed = kSeed;
+  q.policy = {BatchPolicySpec::Kind::kAdaptive, 8, 2e6};
+
+  const auto candidates = planner.evaluate_grid(env.vgg16, q, std::nullopt);
+  std::size_t feasible = 0;
+  for (const auto& c : candidates) feasible += c.meets_slo ? 1 : 0;
+  std::printf("\ncapacity plan: %.0f req/s, %.0f ms SLO at p%.1f\n",
+              q.load_rps, q.slo_ms, q.attainment_target * 100.0);
+  std::printf("%zu/%zu grid configurations meet the SLO\n", feasible,
+              candidates.size());
+  const auto best = CapacityPlanner::cheapest(candidates);
+  if (best.has_value()) {
+    const ServingEval& e = best->eval;
+    std::printf("cheapest: %d cores x %u-bit x %s shared L2, %d instances "
+                "= %.2f mm2\n",
+                e.point.cores, e.point.vlen_bits,
+                l2_str(e.point.l2_total_bytes).c_str(), e.point.instances,
+                e.area_mm2);
+    std::printf("  p50 %.2f ms, p99 %.2f ms, p99.9 %.2f ms, attainment "
+                "%.2f%%, utilization %.1f%%\n",
+                ServingStats::ms(best->stats.p50, kHz),
+                ServingStats::ms(best->stats.p99, kHz),
+                ServingStats::ms(best->stats.p999, kHz),
+                best->stats.slo_attainment * 100.0,
+                best->stats.utilization * 100.0);
+  } else {
+    std::printf("no grid configuration meets the SLO\n");
+  }
+  return 0;
+}

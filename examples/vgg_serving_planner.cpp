@@ -1,65 +1,40 @@
-// Model-serving capacity planner (the paper's Fig 12 scenario as a tool):
-// given a VGG-16 classification service and a chip area budget, enumerate
-// multicore RVV configurations with co-located model instances and report the
-// best-throughput design under the budget, with and without per-layer
-// algorithm selection.
+// Model-serving capacity planner: given a VGG-16 classification service, an
+// offered load, and a latency SLO, find the cheapest multicore RVV chip
+// (7 nm area) on the paper's Fig-12 co-location grid that meets the SLO —
+// using the request-level discrete-event simulator (queueing, batching, tail
+// latency) rather than steady-state throughput alone. See DESIGN.md §10.
 //
-//   ./examples/vgg_serving_planner [area_budget_mm2]   (default 30)
+//   ./examples/vgg_serving_planner [load_rps] [slo_ms] [area_budget_mm2]
+//   defaults: 2000 req/s, 50 ms, unbounded area
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 
 #include "net/models.h"
-#include "serving/serving.h"
+#include "serving/request_sim.h"
 
 using namespace vlacnn;
+using namespace vlacnn::serving;
 
 int main(int argc, char** argv) {
-  const double budget = argc > 1 ? std::atof(argv[1]) : 30.0;
-  std::printf("planning VGG-16 serving under a %.1f mm2 area budget (7nm)\n",
-              budget);
+  CapacityQuery q;
+  q.load_rps = argc > 1 ? std::atof(argv[1]) : 2000.0;
+  q.slo_ms = argc > 2 ? std::atof(argv[2]) : 50.0;
+  q.area_budget_mm2 = argc > 3 ? std::atof(argv[3]) : 0.0;
+  q.policy = {BatchPolicySpec::Kind::kAdaptive, 8, 2e6};  // 1 ms flush
+
+  std::printf("planning VGG-16 serving: %.0f req/s Poisson, %.0f ms SLO at "
+              "p%.0f%s\n",
+              q.load_rps, q.slo_ms, q.attainment_target * 100.0,
+              q.area_budget_mm2 > 0 ? " (area-bounded)" : "");
 
   ResultsDb db(default_results_path());
   SweepDriver driver(&db);
-  ServingSimulator sim(&driver);
+  CapacityPlanner planner(&driver);
   const Network vgg = make_vgg16(224);
 
-  // Moderate grid to keep the planner interactive: cores/instances {1,4,16},
-  // vlen 512..4096, shared L2 up to 64 MB.
-  struct Best {
-    ServingEval eval{};
-    bool valid = false;
-  };
-  Best best_opt, best_fixed;
-  Algo best_fixed_algo = Algo::kGemm6;
-
-  for (int cores : {1, 4, 16}) {
-    for (std::uint32_t vlen : paper2_vlens()) {
-      for (std::uint64_t l2 : paper2_l2_sizes()) {
-        for (int instances : {1, 4, 16}) {
-          ServingPoint p{cores, vlen, l2, instances};
-          if (!p.feasible()) continue;
-          const ServingEval opt = sim.evaluate(vgg, p, std::nullopt);
-          if (opt.area_mm2 <= budget &&
-              (!best_opt.valid ||
-               opt.images_per_cycle > best_opt.eval.images_per_cycle)) {
-            best_opt = {opt, true};
-          }
-          for (Algo a : kAllAlgos) {
-            const ServingEval fx = sim.evaluate(vgg, p, a);
-            if (fx.area_mm2 <= budget &&
-                (!best_fixed.valid ||
-                 fx.images_per_cycle > best_fixed.eval.images_per_cycle)) {
-              best_fixed = {fx, true};
-              best_fixed_algo = a;
-            }
-          }
-        }
-      }
-    }
-  }
-
-  auto report = [](const char* label, const ServingEval& e) {
+  const auto report = [&](const char* label, const CapacityCandidate& c) {
+    const ServingEval& e = c.eval;
     std::printf("\n%s\n", label);
     std::printf("  chip: %d cores x %u-bit vectors, %lluMB shared L2 "
                 "(%.2f mm2)\n",
@@ -68,23 +43,51 @@ int main(int argc, char** argv) {
                 e.area_mm2);
     std::printf("  %d co-located instances, %lluMB L2 slice each\n",
                 e.point.instances,
-                static_cast<unsigned long long>(e.point.l2_slice_bytes() >> 20));
-    std::printf("  latency %.1f ms/image, throughput %.1f images/s @ 2GHz\n",
-                e.cycles_per_image / 2e9 * 1e3, e.images_per_cycle * 2e9);
+                static_cast<unsigned long long>(e.point.l2_slice_bytes() >>
+                                                20));
+    std::printf("  p50 %.2f / p99 %.2f / p99.9 %.2f ms, attainment %.2f%%, "
+                "utilization %.1f%%\n",
+                ServingStats::ms(c.stats.p50, q.clock_hz),
+                ServingStats::ms(c.stats.p99, q.clock_hz),
+                ServingStats::ms(c.stats.p999, q.clock_hz),
+                c.stats.slo_attainment * 100.0, c.stats.utilization * 100.0);
   };
 
-  if (!best_opt.valid) {
-    std::printf("no feasible configuration under %.1f mm2\n", budget);
+  // Per-layer algorithm selection (the co-design result) vs the best
+  // fixed-algorithm plan, both searched over the full grid.
+  const auto opt = planner.evaluate_grid(vgg, q, std::nullopt);
+  const auto best_opt = CapacityPlanner::cheapest(opt);
+  if (!best_opt.has_value()) {
+    std::printf("no grid configuration meets the SLO at this load\n");
     return 1;
   }
-  report("best design, per-layer algorithm selection:", best_opt.eval);
-  char label[96];
-  std::snprintf(label, sizeof(label),
-                "best design, single algorithm (%s everywhere):",
-                to_string(best_fixed_algo));
-  report(label, best_fixed.eval);
-  std::printf("\nselection advantage: %.2fx throughput at equal area budget\n",
-              best_opt.eval.images_per_cycle /
-                  best_fixed.eval.images_per_cycle);
+  report("cheapest design, per-layer algorithm selection:", *best_opt);
+
+  std::optional<CapacityCandidate> best_fixed;
+  Algo best_algo = Algo::kGemm6;
+  for (Algo a : kAllAlgos) {
+    const auto cand = CapacityPlanner::cheapest(planner.evaluate_grid(vgg, q, a));
+    if (cand.has_value() &&
+        (!best_fixed.has_value() ||
+         cand->eval.area_mm2 < best_fixed->eval.area_mm2)) {
+      best_fixed = cand;
+      best_algo = a;
+    }
+  }
+  if (best_fixed.has_value()) {
+    char label[96];
+    std::snprintf(label, sizeof(label),
+                  "cheapest design, single algorithm (%s everywhere):",
+                  to_string(best_algo));
+    report(label, *best_fixed);
+    std::printf("\nselection advantage: %.2f mm2 vs %.2f mm2 for the same "
+                "load and SLO (%.1f%% cheaper silicon)\n",
+                best_opt->eval.area_mm2, best_fixed->eval.area_mm2,
+                (1.0 - best_opt->eval.area_mm2 / best_fixed->eval.area_mm2) *
+                    100.0);
+  } else {
+    std::printf("\nno single-algorithm plan meets the SLO at any grid point "
+                "(selection is the difference between feasible and not)\n");
+  }
   return 0;
 }

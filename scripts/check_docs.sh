@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Docs drift gate: fails when README/DESIGN disagree with the code.
+#
+#   scripts/check_docs.sh [build-dir]     # default build dir: build/
+#
+# Checks:
+#  1. The test count README quotes next to `ctest --test-dir build` matches
+#     what `ctest -N` reports in the configured build directory.
+#  2. Every VLACNN_*/REPRO_* env knob the code actually reads (getenv in src/)
+#     is documented in both README.md and DESIGN.md.
+#  3. Every VLACNN_*/REPRO_* token the docs mention is really read in src/ —
+#     no documenting knobs that do not exist. VLACNN_SANITIZE is exempt: it is
+#     a CMake option, not an env var.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+fail=0
+
+# -- 1: README test count vs ctest -N ----------------------------------------
+actual=$(ctest --test-dir "$BUILD_DIR" -N 2>/dev/null | sed -n 's/^Total Tests: //p')
+documented=$(sed -n 's/^ctest --test-dir build *# \([0-9]*\) tests$/\1/p' README.md)
+if [ -z "$actual" ]; then
+  echo "check_docs: cannot read a test count from 'ctest --test-dir $BUILD_DIR -N'" >&2
+  fail=1
+elif [ -z "$documented" ]; then
+  echo "check_docs: README.md no longer carries the '# N tests' annotation" >&2
+  fail=1
+elif [ "$actual" != "$documented" ]; then
+  echo "check_docs: README says $documented tests, ctest -N reports $actual" >&2
+  fail=1
+else
+  echo "check_docs: test count OK ($actual)"
+fi
+
+# -- 2: knobs read in src/ must be documented ---------------------------------
+read_knobs=$(grep -rhoE 'getenv\("(VLACNN|REPRO)_[A-Z_]+"\)' src \
+  | sed -E 's/getenv\("([A-Z_]+)"\)/\1/' | sort -u)
+for knob in $read_knobs; do
+  for doc in README.md DESIGN.md; do
+    if ! grep -q "$knob" "$doc"; then
+      echo "check_docs: src/ reads \$$knob but $doc does not document it" >&2
+      fail=1
+    fi
+  done
+done
+echo "check_docs: knobs read in src/: $(echo "$read_knobs" | tr '\n' ' ')"
+
+# -- 3: knobs the docs mention must be read in src/ ---------------------------
+doc_knobs=$(grep -hoE '\b(VLACNN|REPRO)_[A-Z_]+' README.md DESIGN.md \
+  | sort -u | grep -v '^VLACNN_SANITIZE$' || true)
+for knob in $doc_knobs; do
+  if ! echo "$read_knobs" | grep -qx "$knob"; then
+    echo "check_docs: docs mention \$$knob but nothing in src/ reads it" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: all green"

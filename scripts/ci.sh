@@ -36,4 +36,19 @@ REPORT_JSON="$REPORT_DIR/fig_1_per_layer_algorithm_comparison_vgg_16.report.json
 ./build/tools/vlacnn-report diff BENCH_report_baseline.json "$REPORT_JSON" \
   --budget-pct 2
 
+echo "== docs: README/DESIGN drift gate ======================================"
+scripts/check_docs.sh build
+
+echo "== serving: capacity-planner determinism across thread counts =========="
+# Same seed, same grid, different pool sizes: the stats JSON must be
+# byte-identical (DESIGN.md §10). Warm cache makes this a sub-second step.
+CAP_DIR=build/capacity-gate
+rm -rf "$CAP_DIR"; mkdir -p "$CAP_DIR"
+VLACNN_THREADS=1 ./build/tools/vlacnn-capacity --net vgg16 --load 20rps \
+  --slo 4000ms --requests 500 --json "$CAP_DIR/t1.json" >/dev/null
+VLACNN_THREADS=8 ./build/tools/vlacnn-capacity --net vgg16 --load 20rps \
+  --slo 4000ms --requests 500 --json "$CAP_DIR/t8.json" >/dev/null
+cmp "$CAP_DIR/t1.json" "$CAP_DIR/t8.json"
+echo "capacity plan byte-identical at VLACNN_THREADS=1 and 8"
+
 echo "== ci.sh: all green ===================================================="

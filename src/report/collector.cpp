@@ -89,6 +89,12 @@ void Collector::record_serving(const ServingCell& cell) {
       cell;
 }
 
+void Collector::record_request_sim(const RequestSimCell& cell) {
+  std::lock_guard<std::mutex> lk(mu_);
+  request_sim_[{cell.cores, cell.vlen_bits, cell.l2_total_bytes,
+                cell.instances, cell.policy, cell.arrivals}] = cell;
+}
+
 RunReport Collector::snapshot(const std::string& tool, double wall_ms,
                               const RooflineParams& p) const {
   RunReport r;
@@ -102,6 +108,8 @@ RunReport Collector::snapshot(const std::string& tool, double wall_ms,
   }
   r.serving.reserve(serving_.size());
   for (const auto& [key, cell] : serving_) r.serving.push_back(cell);
+  r.request_sim.reserve(request_sim_.size());
+  for (const auto& [key, cell] : request_sim_) r.request_sim.push_back(cell);
   return r;
 }
 
@@ -109,6 +117,7 @@ void Collector::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   rows_.clear();
   serving_.clear();
+  request_sim_.clear();
 }
 
 std::size_t Collector::row_count() const {

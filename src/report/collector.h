@@ -42,6 +42,11 @@ class Collector {
   /// Record one serving-grid cell (thread-safe, keyed dedup like rows).
   void record_serving(const ServingCell& cell);
 
+  /// Record one request-level simulation's stats (thread-safe; keyed by
+  /// configuration + policy + arrival labels, last write wins — concurrent
+  /// writers for a key carry identical stats by the determinism guarantee).
+  void record_request_sim(const RequestSimCell& cell);
+
   /// Assemble everything recorded so far into a report.
   RunReport snapshot(const std::string& tool, double wall_ms,
                      const RooflineParams& p = {}) const;
@@ -56,6 +61,10 @@ class Collector {
   std::map<SweepKey, SweepRow> rows_;
   std::map<std::tuple<int, std::uint32_t, std::uint64_t, int>, ServingCell>
       serving_;
+  std::map<std::tuple<int, std::uint32_t, std::uint64_t, int, std::string,
+                      std::string>,
+           RequestSimCell>
+      request_sim_;
 };
 
 /// Called by bench::banner(): when VLACNN_REPORT is set, remembers the run's

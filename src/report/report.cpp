@@ -213,8 +213,34 @@ std::string RunReport::to_json() const {
     out += ", \"area_mm2\": " + json_number(c.area_mm2) + "}";
   }
   out += serving.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"request_sim\": [";
+  for (std::size_t i = 0; i < request_sim.size(); ++i) {
+    const RequestSimCell& c = request_sim[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"cores\": " + std::to_string(c.cores);
+    out += ", \"vlen_bits\": " + std::to_string(c.vlen_bits);
+    out += ", \"l2_total_bytes\": " + std::to_string(c.l2_total_bytes);
+    out += ", \"instances\": " + std::to_string(c.instances);
+    out += ", \"policy\": " + json_quote(c.policy);
+    out += ", \"arrivals\": " + json_quote(c.arrivals);
+    out += ",\n     \"load_rps\": " + json_number(c.load_rps);
+    out += ", \"slo_cycles\": " + json_number(c.slo_cycles);
+    out += ", \"offered\": " + std::to_string(c.offered);
+    out += ", \"completed\": " + std::to_string(c.completed);
+    out += ", \"dropped\": " + std::to_string(c.dropped);
+    out += ",\n     \"p50\": " + json_number(c.p50);
+    out += ", \"p95\": " + json_number(c.p95);
+    out += ", \"p99\": " + json_number(c.p99);
+    out += ", \"p999\": " + json_number(c.p999);
+    out += ", \"mean_latency\": " + json_number(c.mean_latency);
+    out += ",\n     \"utilization\": " + json_number(c.utilization);
+    out += ", \"mean_queue\": " + json_number(c.mean_queue);
+    out += ", \"slo_attainment\": " + json_number(c.slo_attainment) + "}";
+  }
+  out += request_sim.empty() ? "],\n" : "\n  ],\n";
   out += "  \"totals\": {\"entries\": " + std::to_string(entries.size()) +
          ", \"serving_cells\": " + std::to_string(serving.size()) +
+         ", \"request_sim_cells\": " + std::to_string(request_sim.size()) +
          ", \"cycles\": " + json_number(total_cycles()) + "}\n";
   out += "}\n";
   return out;
@@ -340,6 +366,35 @@ RunReport report_from_json(const std::string& text) {
     c.area_mm2 = num_at(s, "area_mm2");
     r.serving.push_back(c);
   }
+
+  // Optional section: reports written before the request-level simulator
+  // existed simply lack it (the v1 schema grows additively).
+  if (const Json* rs = doc.find("request_sim"); rs != nullptr) {
+    for (const Json& s : rs->array) {
+      RequestSimCell c;
+      c.cores = int_at(s, "cores");
+      c.vlen_bits = static_cast<std::uint32_t>(num_at(s, "vlen_bits"));
+      c.l2_total_bytes =
+          static_cast<std::uint64_t>(num_at(s, "l2_total_bytes"));
+      c.instances = int_at(s, "instances");
+      c.policy = str_at(s, "policy");
+      c.arrivals = str_at(s, "arrivals");
+      c.load_rps = num_at(s, "load_rps");
+      c.slo_cycles = num_at(s, "slo_cycles");
+      c.offered = static_cast<std::uint64_t>(num_at(s, "offered"));
+      c.completed = static_cast<std::uint64_t>(num_at(s, "completed"));
+      c.dropped = static_cast<std::uint64_t>(num_at(s, "dropped"));
+      c.p50 = num_at(s, "p50");
+      c.p95 = num_at(s, "p95");
+      c.p99 = num_at(s, "p99");
+      c.p999 = num_at(s, "p999");
+      c.mean_latency = num_at(s, "mean_latency");
+      c.utilization = num_at(s, "utilization");
+      c.mean_queue = num_at(s, "mean_queue");
+      c.slo_attainment = num_at(s, "slo_attainment");
+      r.request_sim.push_back(c);
+    }
+  }
   return r;
 }
 
@@ -458,6 +513,22 @@ std::string summarize(const RunReport& r) {
                     static_cast<double>(c.l2_total_bytes) / (1024.0 * 1024.0),
                     c.instances, c.cycles_per_image,
                     c.images_per_cycle * 1e6, c.area_mm2);
+      out += line;
+    }
+  }
+  if (!r.request_sim.empty()) {
+    std::snprintf(line, sizeof line,
+                  "\n%6s %6s %8s %5s %-16s %10s %10s %10s %6s %6s\n", "cores",
+                  "vlen", "l2MB", "inst", "policy", "p50cyc", "p99cyc",
+                  "p999cyc", "util", "slo%");
+    out += line;
+    for (const RequestSimCell& c : r.request_sim) {
+      std::snprintf(line, sizeof line,
+                    "%6d %6u %8.1f %5d %-16s %10.4g %10.4g %10.4g %6.2f %6.2f\n",
+                    c.cores, c.vlen_bits,
+                    static_cast<double>(c.l2_total_bytes) / (1024.0 * 1024.0),
+                    c.instances, c.policy.c_str(), c.p50, c.p99, c.p999,
+                    c.utilization, 100.0 * c.slo_attainment);
       out += line;
     }
   }

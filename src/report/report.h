@@ -63,6 +63,27 @@ struct ServingCell {
   double area_mm2 = 0;
 };
 
+/// One request-level serving simulation's headline stats (mirrors
+/// serving::ServingStats + the configuration it ran under, without depending
+/// on src/serving/, which sits above the report layer in the link order).
+/// Latency fields are in cycles — presentation layers convert to ms.
+struct RequestSimCell {
+  int cores = 1;
+  std::uint32_t vlen_bits = 512;
+  std::uint64_t l2_total_bytes = 0;
+  int instances = 1;
+  std::string policy;    ///< batching policy label, e.g. "adaptive8@1e+06"
+  std::string arrivals;  ///< arrival process label, e.g. "poisson"
+  double load_rps = 0;
+  double slo_cycles = 0;
+  std::uint64_t offered = 0, completed = 0, dropped = 0;
+  double p50 = 0, p95 = 0, p99 = 0, p999 = 0;  ///< latency, cycles
+  double mean_latency = 0;
+  double utilization = 0;
+  double mean_queue = 0;
+  double slo_attainment = 1;
+};
+
 struct ReportEntry {
   SweepRow row;
   Attribution attr;
@@ -76,6 +97,7 @@ struct RunReport {
   RooflineParams roofline;
   std::vector<ReportEntry> entries;  ///< sorted by SweepKey
   std::vector<ServingCell> serving;
+  std::vector<RequestSimCell> request_sim;  ///< request-level serving stats
 
   double total_cycles() const;
   std::string to_json() const;

@@ -1,0 +1,91 @@
+#include "serving/arrivals.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlacnn::serving {
+
+namespace {
+
+/// Uniform double in (0, 1] from the top 53 bits of the seeded generator.
+/// (0 is excluded so -log(u) below is always finite; 1 maps to a gap of 0.)
+double uniform_unit(Rng& rng) {
+  const double u =
+      static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;  // [0, 1)
+  return 1.0 - u;                                             // (0, 1]
+}
+
+}  // namespace
+
+PoissonArrivals::PoissonArrivals(double mean_interarrival_cycles,
+                                 std::uint64_t count, std::uint64_t seed)
+    : mean_(mean_interarrival_cycles), count_(count), rng_(seed) {
+  if (!(mean_ > 0)) {
+    throw std::invalid_argument("PoissonArrivals: mean interarrival must be > 0");
+  }
+}
+
+std::optional<double> PoissonArrivals::next_arrival() {
+  if (issued_ >= count_) return std::nullopt;
+  // Inverse-transform exponential gap; the first request also draws a gap so
+  // the process has no deterministic arrival at cycle 0.
+  t_ += -mean_ * std::log(uniform_unit(rng_));
+  ++issued_;
+  return t_;
+}
+
+ClosedLoopArrivals::ClosedLoopArrivals(int clients, double think_cycles,
+                                       std::uint64_t total)
+    : think_(think_cycles), total_(total) {
+  if (clients < 1) {
+    throw std::invalid_argument("ClosedLoopArrivals: need >= 1 client");
+  }
+  if (!(think_cycles >= 0)) {
+    throw std::invalid_argument("ClosedLoopArrivals: think time must be >= 0");
+  }
+  for (int i = 0; i < clients; ++i) ready_.push(0.0);
+}
+
+std::optional<double> ClosedLoopArrivals::next_arrival() {
+  if (issued_ >= total_ || ready_.empty()) return std::nullopt;
+  const double t = ready_.top();
+  ready_.pop();
+  ++issued_;
+  return t;
+}
+
+void ClosedLoopArrivals::on_completion(double now_cycles) {
+  // The client behind the finished (or rejected) request thinks, then rejoins.
+  if (issued_ < total_) ready_.push(now_cycles + think_);
+}
+
+TraceArrivals::TraceArrivals(std::vector<double> arrival_cycles)
+    : trace_(std::move(arrival_cycles)) {
+  for (std::size_t i = 1; i < trace_.size(); ++i) {
+    if (trace_[i] < trace_[i - 1]) {
+      throw std::invalid_argument("TraceArrivals: trace must be nondecreasing");
+    }
+  }
+}
+
+std::optional<double> TraceArrivals::next_arrival() {
+  if (next_ >= trace_.size()) return std::nullopt;
+  return trace_[next_++];
+}
+
+std::unique_ptr<ArrivalProcess> make_arrivals(const ArrivalSpec& spec,
+                                              std::uint64_t seed) {
+  switch (spec.kind) {
+    case ArrivalSpec::Kind::kPoisson:
+      return std::make_unique<PoissonArrivals>(spec.mean_interarrival_cycles,
+                                               spec.requests, seed);
+    case ArrivalSpec::Kind::kClosedLoop:
+      return std::make_unique<ClosedLoopArrivals>(
+          spec.clients, spec.think_cycles, spec.requests);
+    case ArrivalSpec::Kind::kTrace:
+      return std::make_unique<TraceArrivals>(spec.trace_cycles);
+  }
+  throw std::invalid_argument("make_arrivals: unknown kind");
+}
+
+}  // namespace vlacnn::serving

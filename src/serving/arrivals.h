@@ -1,0 +1,124 @@
+// Arrival processes for the request-level serving simulator (request_sim.h).
+//
+// An ArrivalProcess produces the cycle timestamps at which inference requests
+// reach the chip. All processes are deterministic: the stochastic ones draw
+// from the repo's seeded splitmix64 Rng (src/common/rng), never from wall
+// clock or std:: distributions, so a (process, seed) pair replays the exact
+// same workload on every run, platform, and thread count.
+//
+// All times are in **cycles** of the simulated 2 GHz clock (the simulator
+// itself is clock-agnostic; conversions to seconds happen only at the edges).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vlacnn::serving {
+
+/// Source of request arrival times. Not thread-safe: each simulation owns its
+/// own process instance (the capacity planner builds one per grid point).
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// The next arrival timestamp in cycles (nondecreasing across calls).
+  /// nullopt means no arrival is schedulable *right now*: either the process
+  /// is exhausted() for good, or (closed-loop) every client is waiting for a
+  /// response — in which case on_completion() will make arrivals available
+  /// again.
+  virtual std::optional<double> next_arrival() = 0;
+
+  /// True when the process will never produce another arrival.
+  virtual bool exhausted() const = 0;
+
+  /// Closed-loop hook: a request finished (served or dropped) at `now_cycles`.
+  /// Open-loop processes ignore it.
+  virtual void on_completion(double now_cycles) { (void)now_cycles; }
+
+  /// Stable label for reports ("poisson", "closed_loop", "trace").
+  virtual const char* name() const = 0;
+};
+
+/// Open-loop Poisson process: i.i.d. exponential interarrival gaps with the
+/// given mean, `count` requests total. The textbook bursty-traffic model —
+/// the M in the M/D/1 sanity check.
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  /// `mean_interarrival_cycles` = clock_hz / load_rps. Must be > 0.
+  PoissonArrivals(double mean_interarrival_cycles, std::uint64_t count,
+                  std::uint64_t seed);
+
+  std::optional<double> next_arrival() override;
+  bool exhausted() const override { return issued_ >= count_; }
+  const char* name() const override { return "poisson"; }
+
+ private:
+  double mean_;
+  std::uint64_t count_;
+  std::uint64_t issued_ = 0;
+  double t_ = 0;
+  Rng rng_;
+};
+
+/// Closed-loop process: `clients` concurrent users, each issuing one request,
+/// waiting for its response, thinking for `think_cycles`, then issuing the
+/// next — the load never outruns the service rate, it tracks it (Clockwork's
+/// workload model for latency-bound serving). All clients issue their first
+/// request at cycle 0; `total` bounds the request count across clients.
+class ClosedLoopArrivals : public ArrivalProcess {
+ public:
+  ClosedLoopArrivals(int clients, double think_cycles, std::uint64_t total);
+
+  std::optional<double> next_arrival() override;
+  bool exhausted() const override { return issued_ >= total_; }
+  void on_completion(double now_cycles) override;
+  const char* name() const override { return "closed_loop"; }
+
+ private:
+  double think_;
+  std::uint64_t total_;
+  std::uint64_t issued_ = 0;
+  /// Pending client wake-up times, earliest first.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      ready_;
+};
+
+/// Trace replay: an explicit, nondecreasing list of arrival cycles (recorded
+/// production traffic, or synthetic bursts built by helpers/tests). Throws
+/// std::invalid_argument if the trace is not sorted.
+class TraceArrivals : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(std::vector<double> arrival_cycles);
+
+  std::optional<double> next_arrival() override;
+  bool exhausted() const override { return next_ >= trace_.size(); }
+  const char* name() const override { return "trace"; }
+
+ private:
+  std::vector<double> trace_;
+  std::size_t next_ = 0;
+};
+
+/// Value-type description of an arrival process, used by the capacity planner
+/// and the CLI to build one fresh process per simulated grid point.
+struct ArrivalSpec {
+  enum class Kind { kPoisson, kClosedLoop, kTrace };
+  Kind kind = Kind::kPoisson;
+  double mean_interarrival_cycles = 1e6;  ///< Poisson: 2e9/rps at 2 GHz
+  std::uint64_t requests = 2000;          ///< Poisson/closed-loop bound
+  int clients = 16;                       ///< closed-loop
+  double think_cycles = 0;                ///< closed-loop
+  std::vector<double> trace_cycles;       ///< trace replay
+};
+
+/// Instantiate the process an ArrivalSpec describes. `seed` feeds the
+/// stochastic kinds; deterministic kinds ignore it.
+std::unique_ptr<ArrivalProcess> make_arrivals(const ArrivalSpec& spec,
+                                              std::uint64_t seed);
+
+}  // namespace vlacnn::serving

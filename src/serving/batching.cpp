@@ -1,0 +1,70 @@
+#include "serving/batching.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vlacnn::serving {
+
+MaxBatchPolicy::MaxBatchPolicy(int max_batch) : max_(max_batch) {
+  if (max_batch < 1) {
+    throw std::invalid_argument("MaxBatchPolicy: max_batch must be >= 1");
+  }
+}
+
+int MaxBatchPolicy::dispatch_size(std::size_t queued, double, double) {
+  return static_cast<int>(
+      std::min<std::size_t>(queued, static_cast<std::size_t>(max_)));
+}
+
+std::string MaxBatchPolicy::name() const {
+  return "maxbatch" + std::to_string(max_);
+}
+
+AdaptiveBatchPolicy::AdaptiveBatchPolicy(int max_batch, double timeout_cycles)
+    : max_(max_batch), timeout_(timeout_cycles) {
+  if (max_batch < 1) {
+    throw std::invalid_argument("AdaptiveBatchPolicy: max_batch must be >= 1");
+  }
+  if (!(timeout_cycles >= 0)) {
+    throw std::invalid_argument("AdaptiveBatchPolicy: timeout must be >= 0");
+  }
+}
+
+int AdaptiveBatchPolicy::dispatch_size(std::size_t queued,
+                                       double oldest_arrival_cycles,
+                                       double now_cycles) {
+  if (queued >= static_cast<std::size_t>(max_)) return max_;
+  // Same expression as flush_deadline(), so the comparison cannot round the
+  // other way when the event loop advances exactly to the deadline it named.
+  if (now_cycles >= oldest_arrival_cycles + timeout_) {
+    return static_cast<int>(queued);  // flush a partial batch
+  }
+  return 0;
+}
+
+double AdaptiveBatchPolicy::flush_deadline(std::size_t,
+                                           double oldest_arrival_cycles) const {
+  return oldest_arrival_cycles + timeout_;
+}
+
+std::string AdaptiveBatchPolicy::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "adaptive%d@%g", max_, timeout_);
+  return buf;
+}
+
+std::unique_ptr<BatchingPolicy> make_policy(const BatchPolicySpec& spec) {
+  switch (spec.kind) {
+    case BatchPolicySpec::Kind::kNoBatch:
+      return std::make_unique<NoBatchPolicy>();
+    case BatchPolicySpec::Kind::kMaxBatch:
+      return std::make_unique<MaxBatchPolicy>(spec.max_batch);
+    case BatchPolicySpec::Kind::kAdaptive:
+      return std::make_unique<AdaptiveBatchPolicy>(spec.max_batch,
+                                                   spec.timeout_cycles);
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+}  // namespace vlacnn::serving

@@ -1,0 +1,93 @@
+// Batching policies for the request-level serving simulator (request_sim.h).
+//
+// A policy decides, whenever a model instance is idle and the FIFO queue is
+// non-empty, how many queued requests to dispatch as one batch — the knob
+// Clipper (NSDI'17) showed trades tail latency against throughput. Policies
+// are pure decision functions over (queue depth, oldest arrival, now); the
+// event loop owns the queue and the clock. All times are in cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+namespace vlacnn::serving {
+
+/// Batch-dispatch decision logic. Not thread-safe: one instance per
+/// simulation (policies may keep state; the stock ones are stateless).
+class BatchingPolicy {
+ public:
+  virtual ~BatchingPolicy() = default;
+
+  /// Called whenever an instance is idle and `queued` > 0 requests wait, the
+  /// oldest having arrived at `oldest_arrival_cycles`. Returns how many to
+  /// dispatch now (the loop clamps to `queued`); 0 means keep waiting.
+  virtual int dispatch_size(std::size_t queued, double oldest_arrival_cycles,
+                            double now_cycles) = 0;
+
+  /// When dispatch_size() returned 0: the future cycle at which the decision
+  /// could flip with no new events (an adaptive policy's flush timeout).
+  /// +infinity means "only re-poll on arrivals/completions". The event loop
+  /// re-polls at this time, so a policy that waits must name its deadline.
+  virtual double flush_deadline(std::size_t queued,
+                                double oldest_arrival_cycles) const {
+    (void)queued;
+    (void)oldest_arrival_cycles;
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// Stable label for reports ("nobatch", "maxbatch8", "adaptive8@2e6").
+  virtual std::string name() const = 0;
+};
+
+/// One request per dispatch — the latency-optimal, throughput-naive baseline.
+class NoBatchPolicy : public BatchingPolicy {
+ public:
+  int dispatch_size(std::size_t, double, double) override { return 1; }
+  std::string name() const override { return "nobatch"; }
+};
+
+/// Work-conserving greedy batching: dispatch min(queued, max_batch)
+/// immediately whenever an instance frees up. Never waits.
+class MaxBatchPolicy : public BatchingPolicy {
+ public:
+  explicit MaxBatchPolicy(int max_batch);
+  int dispatch_size(std::size_t queued, double, double) override;
+  std::string name() const override;
+
+ private:
+  int max_;
+};
+
+/// Clipper-style adaptive batching: dispatch a full batch as soon as
+/// `max_batch` requests wait, otherwise hold the queue until the oldest
+/// request has waited `timeout_cycles`, then flush whatever is there.
+/// timeout 0 degenerates to work-conserving MaxBatchPolicy behaviour.
+class AdaptiveBatchPolicy : public BatchingPolicy {
+ public:
+  AdaptiveBatchPolicy(int max_batch, double timeout_cycles);
+  int dispatch_size(std::size_t queued, double oldest_arrival_cycles,
+                    double now_cycles) override;
+  double flush_deadline(std::size_t queued,
+                        double oldest_arrival_cycles) const override;
+  std::string name() const override;
+
+ private:
+  int max_;
+  double timeout_;
+};
+
+/// Value-type description of a policy, used by the capacity planner and the
+/// CLI to build one fresh policy per simulated grid point.
+struct BatchPolicySpec {
+  enum class Kind { kNoBatch, kMaxBatch, kAdaptive };
+  Kind kind = Kind::kNoBatch;
+  int max_batch = 8;
+  double timeout_cycles = 0;  ///< adaptive flush timeout
+};
+
+std::unique_ptr<BatchingPolicy> make_policy(const BatchPolicySpec& spec);
+
+}  // namespace vlacnn::serving

@@ -1,0 +1,393 @@
+#include "serving/request_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "report/collector.h"
+#include "report/json.h"
+
+namespace vlacnn::serving {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Trace events per simulation are capped so a planner run over hundreds of
+/// grid points cannot balloon the in-memory trace buffer; the cap is logged
+/// when hit.
+constexpr std::uint64_t kMaxBatchTraceEvents = 4096;
+
+/// Simulated cycles -> trace microseconds at the repo's 2 GHz presentation
+/// clock, so a Perfetto timeline of batches reads in real service time.
+constexpr double kTraceCyclesPerUs = 2000.0;
+
+}  // namespace
+
+BatchCostModel batch_cost_model(SweepDriver& driver, const Network& net,
+                                std::uint32_t vlen_bits,
+                                std::uint64_t l2_slice_bytes,
+                                std::optional<Algo> fixed,
+                                double mem_bytes_per_cycle) {
+  double per_image = 0;
+  if (fixed.has_value()) {
+    per_image = driver.network_cycles(net, *fixed, vlen_bits, l2_slice_bytes);
+  } else {
+    per_image = driver.network_optimal(net, vlen_bits, l2_slice_bytes).cycles;
+  }
+  const double weight_cycles = conv_weight_bytes(net) / mem_bytes_per_cycle;
+  const double amortizable = std::min(weight_cycles, 0.5 * per_image);
+  return BatchCostModel{per_image, per_image - amortizable};
+}
+
+double conv_weight_bytes(const Network& net) {
+  double bytes = 0;
+  for (const ConvLayerDesc& d : net.conv_descs()) {
+    bytes += 4.0 * d.oc * d.ic * d.kh * d.kw;
+  }
+  return bytes;
+}
+
+double nearest_rank(const std::vector<double>& sorted_ascending, double q) {
+  if (sorted_ascending.empty()) {
+    throw std::invalid_argument("nearest_rank: empty sample");
+  }
+  if (!(q > 0.0) || q > 1.0) {
+    throw std::invalid_argument("nearest_rank: q must be in (0, 1]");
+  }
+  const double n = static_cast<double>(sorted_ascending.size());
+  // ceil(q*n) with a relative epsilon guard so q values that are exact in
+  // decimal but not in binary (0.2 * 10 etc.) cannot round one rank up.
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * n - 1e-9));
+  if (rank < 1) rank = 1;
+  if (rank > sorted_ascending.size()) rank = sorted_ascending.size();
+  return sorted_ascending[rank - 1];
+}
+
+double ServingStats::throughput_rps(double clock_hz) const {
+  if (!(makespan > 0)) return 0;
+  return static_cast<double>(completed) / makespan * clock_hz;
+}
+
+std::string ServingStats::to_json() const {
+  using report::json_number;
+  std::string out = "{";
+  out += "\"offered\": " + std::to_string(offered);
+  out += ", \"completed\": " + std::to_string(completed);
+  out += ", \"dropped\": " + std::to_string(dropped);
+  out += ", \"batches\": " + std::to_string(batches);
+  out += ", \"mean_batch\": " + json_number(mean_batch);
+  out += ", \"p50\": " + json_number(p50);
+  out += ", \"p95\": " + json_number(p95);
+  out += ", \"p99\": " + json_number(p99);
+  out += ", \"p999\": " + json_number(p999);
+  out += ", \"mean_latency\": " + json_number(mean_latency);
+  out += ", \"max_latency\": " + json_number(max_latency);
+  out += ", \"mean_wait\": " + json_number(mean_wait);
+  out += ", \"makespan\": " + json_number(makespan);
+  out += ", \"mean_queue\": " + json_number(mean_queue);
+  out += ", \"max_queue\": " + json_number(max_queue);
+  out += ", \"utilization\": " + json_number(utilization);
+  out += ", \"slo\": " + json_number(slo);
+  out += ", \"slo_attainment\": " + json_number(slo_attainment);
+  out += "}";
+  return out;
+}
+
+ServingStats simulate_requests(const RequestSimConfig& cfg,
+                               ArrivalProcess& arrivals,
+                               BatchingPolicy& policy) {
+  if (cfg.instances < 1) {
+    throw std::invalid_argument("simulate_requests: need >= 1 instance");
+  }
+  if (!(cfg.cost.first_image_cycles > 0) ||
+      !(cfg.cost.marginal_image_cycles >= 0)) {
+    throw std::invalid_argument(
+        "simulate_requests: batch cost model must have positive first-image "
+        "and non-negative marginal cycles");
+  }
+
+  // One in-flight batch per instance, ordered by completion time; ties pop
+  // the lowest instance id first (std::greater on the pair).
+  struct InFlight {
+    double completion;
+    int instance;
+    bool operator>(const InFlight& o) const {
+      return completion != o.completion ? completion > o.completion
+                                        : instance > o.instance;
+    }
+  };
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<InFlight>>
+      busy;
+  std::vector<std::vector<double>> batch_arrivals(
+      static_cast<std::size_t>(cfg.instances));  // arrival times per instance
+  std::set<int> idle;
+  for (int i = 0; i < cfg.instances; ++i) idle.insert(i);
+
+  std::deque<double> queue;  // FIFO of arrival timestamps
+  ServingStats s;
+  s.slo = cfg.slo_cycles;
+  std::vector<double> latencies;
+  double wait_sum = 0, queue_area = 0, busy_cycles = 0, batch_images = 0;
+  double now = 0;
+  std::optional<double> pending;
+
+  const bool metrics = obs::metrics_enabled();
+  obs::Histogram* lat_hist = nullptr;
+  obs::Counter* completed_ctr = nullptr;
+  obs::Counter* dropped_ctr = nullptr;
+  obs::Counter* batches_ctr = nullptr;
+  if (metrics) {
+    auto& reg = obs::Registry::global();
+    lat_hist = &reg.histogram("serving.request_latency_cycles");
+    completed_ctr = &reg.counter("serving.requests_completed");
+    dropped_ctr = &reg.counter("serving.requests_dropped");
+    batches_ctr = &reg.counter("serving.batches_dispatched");
+  }
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::uint64_t traced_batches = 0;
+
+  auto poll = [&] {
+    if (!pending.has_value()) pending = arrivals.next_arrival();
+  };
+  auto advance = [&](double t_new) {
+    queue_area += static_cast<double>(queue.size()) * (t_new - now);
+    now = t_new;
+  };
+  auto try_dispatch = [&]() -> bool {
+    bool dispatched = false;
+    while (!queue.empty() && !idle.empty()) {
+      int n = policy.dispatch_size(queue.size(), queue.front(), now);
+      if (n <= 0) break;
+      if (static_cast<std::size_t>(n) > queue.size()) {
+        n = static_cast<int>(queue.size());
+      }
+      const int inst = *idle.begin();
+      idle.erase(idle.begin());
+      auto& members = batch_arrivals[static_cast<std::size_t>(inst)];
+      members.clear();
+      for (int i = 0; i < n; ++i) {
+        wait_sum += now - queue.front();
+        members.push_back(queue.front());
+        queue.pop_front();
+      }
+      const double service = cfg.cost.service_cycles(n);
+      busy.push({now + service, inst});
+      busy_cycles += service;
+      ++s.batches;
+      batch_images += n;
+      dispatched = true;
+      if (tracer.enabled() && traced_batches < kMaxBatchTraceEvents) {
+        // Trace timestamps are *simulated* time, so the file renders the
+        // serving schedule itself, not the wall clock of the simulator.
+        tracer.emit("serving.batch", now / kTraceCyclesPerUs,
+                    service / kTraceCyclesPerUs,
+                    {{"instance", std::to_string(inst)},
+                     {"batch", std::to_string(n)},
+                     {"service_cycles", std::to_string(service)}});
+        if (++traced_batches == kMaxBatchTraceEvents) {
+          obs::log(obs::LogLevel::kInfo, "serving", "batch_trace_capped",
+                   {{"cap", std::to_string(kMaxBatchTraceEvents)}});
+        }
+      }
+    }
+    return dispatched;
+  };
+
+  poll();
+  while (true) {
+    const double tc = busy.empty() ? kInf : busy.top().completion;
+    const double ta = pending.has_value() ? *pending : kInf;
+    double td = kInf;
+    if (!queue.empty() && !idle.empty()) {
+      td = std::max(policy.flush_deadline(queue.size(), queue.front()), now);
+    }
+    const double t_next = std::min({tc, ta, td});
+    if (t_next == kInf) break;
+    advance(t_next);
+
+    // Tie order at equal timestamps: completions free instances first,
+    // arrivals join the queue second, policy flushes run last — fixed, so
+    // the event sequence (and every stat) is reproducible.
+    if (tc <= t_next) {
+      const InFlight f = busy.top();
+      busy.pop();
+      for (double arr : batch_arrivals[static_cast<std::size_t>(f.instance)]) {
+        const double lat = now - arr;
+        latencies.push_back(lat);
+        if (metrics) {
+          lat_hist->observe(
+              static_cast<std::uint64_t>(std::llround(std::max(lat, 0.0))));
+        }
+        arrivals.on_completion(now);
+      }
+      idle.insert(f.instance);
+      try_dispatch();
+      poll();
+      continue;
+    }
+    if (ta <= t_next) {
+      ++s.offered;
+      if (cfg.queue_capacity > 0 && queue.size() >= cfg.queue_capacity) {
+        ++s.dropped;
+        arrivals.on_completion(now);  // a rejection is still a response
+      } else {
+        queue.push_back(ta);
+        if (static_cast<double>(queue.size()) > s.max_queue) {
+          s.max_queue = static_cast<double>(queue.size());
+        }
+      }
+      pending.reset();
+      poll();
+      try_dispatch();
+      continue;
+    }
+    // Flush deadline: the policy named this cycle, so it must dispatch now.
+    if (!try_dispatch()) {
+      throw std::logic_error(
+          "simulate_requests: batching policy refused to dispatch at its own "
+          "flush deadline");
+    }
+  }
+  if (!queue.empty()) {
+    throw std::logic_error(
+        "simulate_requests: batching policy left requests queued forever "
+        "(flush_deadline returned +inf with idle instances)");
+  }
+
+  s.completed = latencies.size();
+  s.makespan = now;
+  if (s.batches > 0) s.mean_batch = batch_images / static_cast<double>(s.batches);
+  if (!latencies.empty()) {
+    double sum = 0;
+    for (double l : latencies) sum += l;
+    s.mean_latency = sum / static_cast<double>(latencies.size());
+    s.mean_wait = wait_sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    s.p50 = nearest_rank(latencies, 0.50);
+    s.p95 = nearest_rank(latencies, 0.95);
+    s.p99 = nearest_rank(latencies, 0.99);
+    s.p999 = nearest_rank(latencies, 0.999);
+    s.max_latency = latencies.back();
+  }
+  if (s.makespan > 0) {
+    s.mean_queue = queue_area / s.makespan;
+    s.utilization =
+        busy_cycles / (static_cast<double>(cfg.instances) * s.makespan);
+  }
+  if (cfg.slo_cycles > 0 && s.offered > 0) {
+    // Nearest-rank semantics again: count exact per-request cycle values.
+    const auto within =
+        std::upper_bound(latencies.begin(), latencies.end(), cfg.slo_cycles) -
+        latencies.begin();
+    s.slo_attainment =
+        static_cast<double>(within) / static_cast<double>(s.offered);
+  }
+  if (metrics) {
+    completed_ctr->add(s.completed);
+    dropped_ctr->add(s.dropped);
+    batches_ctr->add(s.batches);
+  }
+  return s;
+}
+
+CapacityCandidate CapacityPlanner::evaluate(const Network& net,
+                                            const ServingPoint& point,
+                                            const CapacityQuery& q,
+                                            std::optional<Algo> fixed) const {
+  if (!(q.load_rps > 0) || !(q.slo_ms > 0) || !(q.clock_hz > 0)) {
+    throw std::invalid_argument(
+        "CapacityPlanner: load, SLO, and clock must be positive");
+  }
+  CapacityCandidate c;
+  c.eval = sim_.evaluate(net, point, fixed);
+
+  RequestSimConfig rc;
+  rc.instances = point.instances;
+  rc.cost = batch_cost_model(*driver_, net, point.vlen_bits,
+                             point.l2_slice_bytes(), fixed);
+  rc.queue_capacity = q.queue_capacity;
+  rc.slo_cycles = q.slo_ms * 1e-3 * q.clock_hz;
+
+  ArrivalSpec as;
+  as.kind = ArrivalSpec::Kind::kPoisson;
+  as.mean_interarrival_cycles = q.clock_hz / q.load_rps;
+  as.requests = q.requests;
+  const auto arrivals = make_arrivals(as, q.seed);
+  const auto policy = make_policy(q.policy);
+  c.stats = simulate_requests(rc, *arrivals, *policy);
+  c.meets_slo =
+      c.stats.slo_attainment >= q.attainment_target &&
+      (q.area_budget_mm2 <= 0 || c.eval.area_mm2 <= q.area_budget_mm2);
+
+  if (report::enabled()) {
+    report::RequestSimCell cell;
+    cell.cores = point.cores;
+    cell.vlen_bits = point.vlen_bits;
+    cell.l2_total_bytes = point.l2_total_bytes;
+    cell.instances = point.instances;
+    cell.policy = policy->name();
+    cell.arrivals = arrivals->name();
+    cell.load_rps = q.load_rps;
+    cell.slo_cycles = rc.slo_cycles;
+    cell.offered = c.stats.offered;
+    cell.completed = c.stats.completed;
+    cell.dropped = c.stats.dropped;
+    cell.p50 = c.stats.p50;
+    cell.p95 = c.stats.p95;
+    cell.p99 = c.stats.p99;
+    cell.p999 = c.stats.p999;
+    cell.mean_latency = c.stats.mean_latency;
+    cell.utilization = c.stats.utilization;
+    cell.mean_queue = c.stats.mean_queue;
+    cell.slo_attainment = c.stats.slo_attainment;
+    report::Collector::global().record_request_sim(cell);
+  }
+  return c;
+}
+
+std::vector<CapacityCandidate> CapacityPlanner::evaluate_grid(
+    const Network& net, const CapacityQuery& q, std::optional<Algo> fixed,
+    ThreadPool* pool) const {
+  const std::vector<ServingPoint> points = ServingSimulator::grid_points();
+  obs::Span span("serving.capacity_grid");
+  if (span.active()) {
+    span.arg("net", net.name());
+    span.arg("points", std::to_string(points.size()));
+    span.arg("load_rps", std::to_string(q.load_rps));
+    span.arg("requests", std::to_string(q.requests));
+  }
+  obs::log(obs::LogLevel::kInfo, "serving", "capacity_grid",
+           {{"net", net.name()},
+            {"points", std::to_string(points.size())},
+            {"load_rps", std::to_string(q.load_rps)}});
+  // One task per point into its pre-sized slot: each simulation depends only
+  // on (point, query), so the result vector is byte-identical whether the
+  // pool has 1 worker or 64 (§7's guarantee, extended to request-level stats).
+  std::vector<CapacityCandidate> out(points.size());
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(points.size(), [&](std::size_t i) {
+    out[i] = evaluate(net, points[i], q, fixed);
+  });
+  return out;
+}
+
+std::optional<CapacityCandidate> CapacityPlanner::cheapest(
+    const std::vector<CapacityCandidate>& candidates) {
+  std::optional<CapacityCandidate> best;
+  for (const CapacityCandidate& c : candidates) {
+    if (!c.meets_slo) continue;
+    if (!best.has_value() || c.eval.area_mm2 < best->eval.area_mm2) best = c;
+  }
+  return best;
+}
+
+}  // namespace vlacnn::serving

@@ -1,0 +1,181 @@
+// Request-level, discrete-event serving simulator and SLO capacity planner.
+//
+// Layers what users actually experience — queueing delay, tail latency, SLO
+// attainment under bursty traffic — on top of the steady-state co-location
+// simulator (serving.h). The event loop is fully deterministic: simulated
+// time is a cycle counter (no wall clock), arrivals come from seeded
+// processes (arrivals.h), batches are cut by pluggable policies (batching.h),
+// and each instance's service time per image comes from the same SweepDriver
+// per-layer cycle model every figure is built from. Same seed + same grid ⇒
+// byte-identical stats, regardless of VLACNN_THREADS (the per-point sims are
+// independent; the planner writes them into pre-sized slots, extending the
+// repo's parallel-equals-serial guarantee to request-level results).
+//
+// Units: all latencies and timestamps are **cycles**; ServingStats converts
+// to milliseconds only at a caller-supplied clock (2 GHz everywhere else in
+// the repo). Percentiles are nearest-rank on the exact per-request cycle
+// values — no interpolation, so a percentile is always a latency some
+// simulated request actually saw (DESIGN.md §10).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serving/arrivals.h"
+#include "serving/batching.h"
+#include "serving/serving.h"
+
+namespace vlacnn {
+class ThreadPool;
+}
+
+namespace vlacnn::serving {
+
+/// Deterministic service-time model for one model instance running a batch:
+///   service_cycles(b) = first_image_cycles + (b - 1) * marginal_image_cycles.
+/// first >= marginal encodes why batching helps at all in a deterministic
+/// cost model: the first image of a batch streams the network's weights from
+/// DRAM, later images in the same batch reuse them from cache.
+struct BatchCostModel {
+  double first_image_cycles = 0;     ///< cycles for a batch of one
+  double marginal_image_cycles = 0;  ///< added cycles per extra image
+
+  double service_cycles(int batch) const {
+    return first_image_cycles +
+           static_cast<double>(batch - 1) * marginal_image_cycles;
+  }
+};
+
+/// Build the cost model for one hardware point from the sweep: per-image
+/// cycles are `SweepDriver::network_optimal` (or network_cycles when `fixed`
+/// pins an algorithm) at (vlen, L2 slice); the amortizable share is the
+/// conv-weight footprint streamed at `mem_bytes_per_cycle` (the roofline's
+/// 6.4 B/cycle DDR4 default), clamped to at most half of the per-image cost
+/// so a pathological model never yields near-zero marginal cost.
+/// Thread-safe (SweepDriver is; used concurrently by the capacity planner).
+BatchCostModel batch_cost_model(SweepDriver& driver, const Network& net,
+                                std::uint32_t vlen_bits,
+                                std::uint64_t l2_slice_bytes,
+                                std::optional<Algo> fixed,
+                                double mem_bytes_per_cycle = 6.4);
+
+/// Total fp32 conv-weight bytes of a network (the per-batch amortizable DRAM
+/// traffic in the cost model above).
+double conv_weight_bytes(const Network& net);
+
+/// Nearest-rank percentile: the ceil(q * n)-th smallest sample (1-indexed) of
+/// an ascending, non-empty vector; q in (0, 1]. Exact — the result is always
+/// one of the samples, never an interpolation. Throws std::invalid_argument
+/// on an empty vector or q outside (0, 1].
+double nearest_rank(const std::vector<double>& sorted_ascending, double q);
+
+/// One simulation's request-level results. All latency fields are in cycles;
+/// use ms() to render at a clock. Counts: offered = completed + dropped once
+/// the loop drains (open-loop processes always drain; closed-loop by
+/// construction).
+struct ServingStats {
+  std::uint64_t offered = 0;    ///< arrivals reaching the queue (or dropped)
+  std::uint64_t completed = 0;  ///< requests served to completion
+  std::uint64_t dropped = 0;    ///< rejected: queue at capacity on arrival
+  std::uint64_t batches = 0;    ///< dispatches executed
+  double mean_batch = 0;        ///< completed / batches
+
+  double p50 = 0, p95 = 0, p99 = 0, p999 = 0;  ///< latency, cycles
+  double mean_latency = 0, max_latency = 0;    ///< latency, cycles
+  double mean_wait = 0;                        ///< queueing delay, cycles
+  double makespan = 0;          ///< last completion (or arrival), cycles
+  double mean_queue = 0;        ///< time-weighted queue depth
+  double max_queue = 0;         ///< peak queue depth
+  double utilization = 0;       ///< busy instance-cycles / (instances*makespan)
+
+  double slo = 0;               ///< deadline in cycles (0 = none given)
+  double slo_attainment = 1;    ///< completed within slo / offered; drops miss
+
+  /// cycles -> milliseconds at `clock_hz`.
+  static double ms(double cycles, double clock_hz) {
+    return cycles / clock_hz * 1e3;
+  }
+  /// Served requests per second at `clock_hz` over the makespan.
+  double throughput_rps(double clock_hz) const;
+
+  /// Canonical byte-stable rendering (%.17g doubles, fixed key order, no
+  /// wall-clock fields) — what the determinism guarantee is stated over.
+  std::string to_json() const;
+};
+
+/// Static configuration of one request-level simulation.
+struct RequestSimConfig {
+  int instances = 1;              ///< parallel model instances (servers)
+  BatchCostModel cost;            ///< per-instance batch service time
+  std::size_t queue_capacity = 0; ///< waiting-room bound; 0 = unbounded
+  double slo_cycles = 0;          ///< latency deadline for attainment; 0 = off
+};
+
+/// Run the discrete-event loop to exhaustion: every arrival the process
+/// produces is either served or dropped, and all in-flight batches complete.
+/// Deterministic: event order is (time, completions < arrivals < flushes,
+/// FIFO seq). Single-threaded and allocation-light — callers parallelize
+/// across *simulations*, never within one. ~O(requests * log instances).
+ServingStats simulate_requests(const RequestSimConfig& cfg,
+                               ArrivalProcess& arrivals,
+                               BatchingPolicy& policy);
+
+/// A capacity-planning question: can a configuration carry `load_rps` of
+/// Poisson traffic while `attainment_target` of requests finish within
+/// `slo_ms`? Cycle budget = slo_ms at clock_hz.
+struct CapacityQuery {
+  double load_rps = 1000;
+  double slo_ms = 50;
+  double attainment_target = 0.99;
+  std::uint64_t requests = 2000;  ///< simulated request count per point
+  std::uint64_t seed = 42;        ///< arrival-process seed (shared per point)
+  double clock_hz = 2e9;
+  double area_budget_mm2 = 0;     ///< 0 = unbounded
+  BatchPolicySpec policy{BatchPolicySpec::Kind::kAdaptive, 8, 0};
+  std::size_t queue_capacity = 0;
+};
+
+/// One grid point's verdict: the steady-state evaluation (area, per-image
+/// cycles) plus the request-level stats under the query's load.
+struct CapacityCandidate {
+  ServingEval eval;
+  ServingStats stats;
+  bool meets_slo = false;  ///< attainment >= target (and under budget, if set)
+};
+
+/// Searches the Fig-12 co-location grid for configurations that meet a
+/// latency SLO at a target load, and picks the cheapest (area mm²) one.
+/// Thread-safe const API; grid evaluation fans out per point.
+class CapacityPlanner {
+ public:
+  explicit CapacityPlanner(SweepDriver* driver, AreaModel area = {})
+      : sim_(driver, area), driver_(driver) {}
+
+  /// Simulate every feasible Fig-12 grid point under the query's Poisson
+  /// load. Results are in the deterministic grid enumeration order and each
+  /// point's stats depend only on (point, query) — byte-identical across
+  /// thread counts. `pool` overrides the shared pool (tests pin sizes 1 vs 8);
+  /// nullptr uses ThreadPool::shared().
+  std::vector<CapacityCandidate> evaluate_grid(const Network& net,
+                                               const CapacityQuery& q,
+                                               std::optional<Algo> fixed,
+                                               ThreadPool* pool = nullptr) const;
+
+  /// Evaluate one explicit configuration under the query's load.
+  CapacityCandidate evaluate(const Network& net, const ServingPoint& point,
+                             const CapacityQuery& q,
+                             std::optional<Algo> fixed) const;
+
+  /// The cheapest (smallest area, ties by enumeration order) candidate with
+  /// meets_slo; nullopt when none qualifies.
+  static std::optional<CapacityCandidate> cheapest(
+      const std::vector<CapacityCandidate>& candidates);
+
+ private:
+  ServingSimulator sim_;
+  SweepDriver* driver_;
+};
+
+}  // namespace vlacnn::serving

@@ -62,12 +62,7 @@ ServingEval ServingSimulator::evaluate(const Network& net,
   return e;
 }
 
-std::vector<ServingEval> ServingSimulator::grid(const Network& net,
-                                                std::optional<Algo> fixed) const {
-  // Enumerate the feasible points first, then evaluate one pool task per
-  // point. Each slot is written by exactly one task, so the output order (and
-  // every number in it) matches the serial nested-loop order bit for bit; the
-  // ResultsDb deduplicates the many points that share (vlen, slice) sweeps.
+std::vector<ServingPoint> ServingSimulator::grid_points() {
   std::vector<ServingPoint> points;
   const int core_counts[] = {1, 4, 16, 64};
   const std::uint64_t l2_sizes[] = {1ull << 20, 4ull << 20, 16ull << 20,
@@ -82,6 +77,16 @@ std::vector<ServingEval> ServingSimulator::grid(const Network& net,
       }
     }
   }
+  return points;
+}
+
+std::vector<ServingEval> ServingSimulator::grid(const Network& net,
+                                                std::optional<Algo> fixed) const {
+  // Evaluate one pool task per feasible point. Each slot is written by
+  // exactly one task, so the output order (and every number in it) matches
+  // the serial nested-loop order bit for bit; the ResultsDb deduplicates the
+  // many points that share (vlen, slice) sweeps.
+  const std::vector<ServingPoint> points = grid_points();
   obs::Span span("serving.grid");
   if (span.active()) {
     span.arg("net", net.name());

@@ -17,12 +17,16 @@
 
 namespace vlacnn {
 
+/// One hardware/co-location configuration of the Fig-12 study: a multicore
+/// chip hosting `instances` copies of the model, one per core, each owning an
+/// exclusive slice of the shared L2.
 struct ServingPoint {
   int cores = 1;
   std::uint32_t vlen_bits = 512;
-  std::uint64_t l2_total_bytes = 1u << 20;
-  int instances = 1;
+  std::uint64_t l2_total_bytes = 1u << 20;  ///< shared L2 capacity, bytes
+  int instances = 1;                        ///< co-located model copies
 
+  /// Exclusive L2 capacity per instance, bytes.
   std::uint64_t l2_slice_bytes() const {
     return l2_total_bytes / static_cast<std::uint64_t>(instances);
   }
@@ -30,13 +34,20 @@ struct ServingPoint {
   bool feasible() const;
 };
 
+/// Steady-state result for one ServingPoint. Cycles are simulated-core
+/// cycles (2 GHz in the paper); seconds appear only in presentation code.
 struct ServingEval {
   ServingPoint point;
-  double cycles_per_image = 0;  ///< per-instance latency (conv layers)
-  double images_per_cycle = 0;  ///< aggregate throughput
-  double area_mm2 = 0;
+  double cycles_per_image = 0;  ///< per-instance latency (conv layers), cycles
+  double images_per_cycle = 0;  ///< aggregate throughput, images per cycle
+  double area_mm2 = 0;          ///< 7 nm chip area
 };
 
+/// Steady-state co-location simulator (the paper's Fig-12 analysis). All
+/// const methods are thread-safe: state is a SweepDriver (internally
+/// synchronized) and a value-type AreaModel, so evaluate() may be called
+/// concurrently from pool tasks — grid() and the request-level capacity
+/// planner (request_sim.h) do exactly that.
 class ServingSimulator {
  public:
   ServingSimulator(SweepDriver* driver, AreaModel area = {})
@@ -47,8 +58,13 @@ class ServingSimulator {
   ServingEval evaluate(const Network& net, const ServingPoint& point,
                        std::optional<Algo> fixed) const;
 
-  /// The paper's grid: cores/instances in {1,4,16,64}, vlen 512..4096,
-  /// shared L2 in {1,4,16,64,256} MB; infeasible combinations skipped.
+  /// The feasible points of the paper's grid — cores/instances in
+  /// {1,4,16,64}, vlen 512..4096, shared L2 in {1,4,16,64,256} MB — in the
+  /// deterministic nested-loop enumeration order every grid consumer shares.
+  static std::vector<ServingPoint> grid_points();
+
+  /// evaluate() over grid_points(), fanned out on the shared pool; output
+  /// order (and every number) is bit-identical to a serial run.
   std::vector<ServingEval> grid(const Network& net,
                                 std::optional<Algo> fixed) const;
 

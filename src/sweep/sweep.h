@@ -37,6 +37,11 @@ struct SweepRequest {
   VpuAttach attach = VpuAttach::kIntegratedL1;
 };
 
+/// Front door to the per-layer simulation grid. All methods are thread-safe
+/// (state is one pointer to the internally-synchronized ResultsDb), so a
+/// driver may be shared by concurrent pool tasks — the serving simulators do
+/// exactly that. All returned times are simulated core **cycles** (2 GHz in
+/// the papers); conversion to seconds happens only in presentation code.
 class SweepDriver {
  public:
   explicit SweepDriver(ResultsDb* db) : db_(db) {}
@@ -70,21 +75,22 @@ class SweepDriver {
                                      std::uint32_t lanes = 8,
                                      VpuAttach attach = VpuAttach::kIntegratedL1);
 
-  /// Sum of cycles over conv layers for a uniform-algorithm plan.
+  /// Sum of cycles over conv layers for a uniform-algorithm plan (cycles).
   double network_cycles(const Network& net, Algo algo, std::uint32_t vlen_bits,
                         std::uint64_t l2_bytes, std::uint32_t lanes = 8,
                         VpuAttach attach = VpuAttach::kIntegratedL1);
 
   /// Per-layer optimal plan (argmin over applicable algorithms) and its cycles.
   struct OptimalResult {
-    std::vector<Algo> plan;
-    double cycles = 0;
+    std::vector<Algo> plan;  ///< winning algorithm per conv layer, in order
+    double cycles = 0;       ///< whole-network conv time, simulated cycles
   };
   OptimalResult network_optimal(const Network& net, std::uint32_t vlen_bits,
                                 std::uint64_t l2_bytes, std::uint32_t lanes = 8,
                                 VpuAttach attach = VpuAttach::kIntegratedL1);
 
-  /// Cycles of an explicit per-conv-layer plan.
+  /// Cycles of an explicit per-conv-layer plan (plan.size() must equal the
+  /// network's conv-layer count).
   double network_plan_cycles(const Network& net, const std::vector<Algo>& plan,
                              std::uint32_t vlen_bits, std::uint64_t l2_bytes,
                              std::uint32_t lanes = 8,

@@ -1,0 +1,240 @@
+// vlacnn-capacity: SLO capacity planner over the Fig-12 co-location grid.
+//
+//   vlacnn-capacity --net vgg16 --load 2000rps --slo 50ms
+//
+// Simulates every feasible (cores x vlen x shared-L2 x instances)
+// configuration under seeded Poisson traffic with the request-level
+// discrete-event simulator (DESIGN.md §10) and reports the cheapest chip
+// (7 nm area) that meets the latency SLO at the offered load.
+//
+// Flags:
+//   --net vgg16|yolo20        network (default vgg16)
+//   --load N[rps]             offered Poisson load, requests/s (default 1000)
+//   --slo N[ms]               latency deadline, milliseconds (default 50)
+//   --attainment F            required fraction inside the SLO (default 0.99)
+//   --requests N              simulated requests per grid point (default 2000)
+//   --seed N                  arrival-process seed (default 42)
+//   --policy nobatch|maxbatch|adaptive   batching policy (default adaptive)
+//   --max-batch N             policy batch bound (default 8)
+//   --flush-ms F              adaptive flush timeout, ms (default 1)
+//   --queue N                 queue bound, 0 = unbounded (default 0)
+//   --area-budget F           max chip area mm2, 0 = unbounded (default 0)
+//   --json FILE               also write the full candidate list as JSON;
+//                             byte-stable across runs and VLACNN_THREADS
+//
+// The sweep cache (results/sweep_cache.csv, override REPRO_RESULTS_DIR) makes
+// warm runs fast; a cold run simulates the grid points it needs first.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "net/models.h"
+#include "report/json.h"
+#include "serving/request_sim.h"
+#include "sweep/results_db.h"
+
+using namespace vlacnn;
+using namespace vlacnn::serving;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--net vgg16|yolo20] [--load N[rps]] [--slo N[ms]]\n"
+               "          [--attainment F] [--requests N] [--seed N]\n"
+               "          [--policy nobatch|maxbatch|adaptive] [--max-batch N]\n"
+               "          [--flush-ms F] [--queue N] [--area-budget F]\n"
+               "          [--json FILE]\n",
+               argv0);
+  return 2;
+}
+
+/// Parse "2000rps" / "2000" / "50ms" / "50": a positive number with an
+/// optional unit suffix that must match `unit` exactly when present.
+double suffixed(const char* flag, const char* value, const char* unit) {
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  const std::string rest = std::string(value).substr(pos);
+  if (pos == 0 || (!rest.empty() && rest != unit) || !(v > 0)) {
+    throw std::runtime_error(std::string(flag) + " expects a positive number" +
+                             " (optionally suffixed '" + unit + "'), got '" +
+                             value + "'");
+  }
+  return v;
+}
+
+std::string point_json(const ServingPoint& p) {
+  std::string out = "{";
+  out += "\"cores\": " + std::to_string(p.cores);
+  out += ", \"vlen_bits\": " + std::to_string(p.vlen_bits);
+  out += ", \"l2_total_bytes\": " + std::to_string(p.l2_total_bytes);
+  out += ", \"instances\": " + std::to_string(p.instances);
+  out += "}";
+  return out;
+}
+
+std::string candidate_json(const CapacityCandidate& c) {
+  using report::json_number;
+  std::string out = "{";
+  out += "\"point\": " + point_json(c.eval.point);
+  out += ", \"area_mm2\": " + json_number(c.eval.area_mm2);
+  out += ", \"cycles_per_image\": " + json_number(c.eval.cycles_per_image);
+  out += ", \"meets_slo\": " + std::string(c.meets_slo ? "true" : "false");
+  out += ", \"stats\": " + c.stats.to_json();
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string net_name = "vgg16";
+  std::string json_path;
+  CapacityQuery q;
+  q.policy = {BatchPolicySpec::Kind::kAdaptive, 8, 2e6};  // 1 ms at 2 GHz
+  std::string policy_name = "adaptive";
+  double flush_ms = 1.0;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::runtime_error(flag + " expects a value");
+        }
+        return argv[++i];
+      };
+      if (flag == "--net") {
+        net_name = next();
+      } else if (flag == "--load") {
+        q.load_rps = suffixed("--load", next(), "rps");
+      } else if (flag == "--slo") {
+        q.slo_ms = suffixed("--slo", next(), "ms");
+      } else if (flag == "--attainment") {
+        q.attainment_target = std::atof(next());
+      } else if (flag == "--requests") {
+        q.requests = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--seed") {
+        q.seed = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--policy") {
+        policy_name = next();
+      } else if (flag == "--max-batch") {
+        q.policy.max_batch = std::atoi(next());
+      } else if (flag == "--flush-ms") {
+        flush_ms = suffixed("--flush-ms", next(), "ms");
+      } else if (flag == "--queue") {
+        q.queue_capacity = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--area-budget") {
+        q.area_budget_mm2 = std::atof(next());
+      } else if (flag == "--json") {
+        json_path = next();
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    if (policy_name == "nobatch") {
+      q.policy.kind = BatchPolicySpec::Kind::kNoBatch;
+    } else if (policy_name == "maxbatch") {
+      q.policy.kind = BatchPolicySpec::Kind::kMaxBatch;
+    } else if (policy_name == "adaptive") {
+      q.policy.kind = BatchPolicySpec::Kind::kAdaptive;
+    } else {
+      throw std::runtime_error("unknown --policy '" + policy_name + "'");
+    }
+    q.policy.timeout_cycles = flush_ms * 1e-3 * q.clock_hz;
+    if (!(q.attainment_target > 0) || q.attainment_target > 1 ||
+        q.requests == 0 || q.policy.max_batch < 1) {
+      throw std::runtime_error("invalid query parameters");
+    }
+
+    Network net = [&] {
+      if (net_name == "vgg16") return make_vgg16(224);
+      if (net_name == "yolo20") return make_yolov3(20, 608);
+      throw std::runtime_error("unknown --net '" + net_name +
+                               "' (vgg16 or yolo20)");
+    }();
+
+    ResultsDb db(default_results_path());
+    SweepDriver driver(&db);
+    CapacityPlanner planner(&driver);
+
+    std::printf("capacity plan: %s, %.0f req/s Poisson, %.0f ms SLO at "
+                "p%.4g, policy %s\n",
+                net.name().c_str(), q.load_rps, q.slo_ms,
+                q.attainment_target * 100.0, policy_name.c_str());
+    const auto candidates = planner.evaluate_grid(net, q, std::nullopt);
+    std::size_t feasible = 0;
+    for (const auto& c : candidates) feasible += c.meets_slo ? 1 : 0;
+    std::printf("%zu/%zu grid configurations meet the SLO%s\n", feasible,
+                candidates.size(),
+                q.area_budget_mm2 > 0 ? " inside the area budget" : "");
+
+    const auto best = CapacityPlanner::cheapest(candidates);
+    if (best.has_value()) {
+      const ServingEval& e = best->eval;
+      const ServingStats& s = best->stats;
+      std::printf("cheapest: %d cores x %u-bit vectors, %lluMB shared L2, "
+                  "%d instances = %.2f mm2 (7nm)\n",
+                  e.point.cores, e.point.vlen_bits,
+                  static_cast<unsigned long long>(e.point.l2_total_bytes >>
+                                                  20),
+                  e.point.instances, e.area_mm2);
+      std::printf("  p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, p99.9 %.2f ms "
+                  "@ 2GHz\n",
+                  ServingStats::ms(s.p50, q.clock_hz),
+                  ServingStats::ms(s.p95, q.clock_hz),
+                  ServingStats::ms(s.p99, q.clock_hz),
+                  ServingStats::ms(s.p999, q.clock_hz));
+      std::printf("  attainment %.2f%%, utilization %.1f%%, mean batch "
+                  "%.2f, mean queue %.2f\n",
+                  s.slo_attainment * 100.0, s.utilization * 100.0,
+                  s.mean_batch, s.mean_queue);
+    } else {
+      std::printf("no configuration meets the SLO at this load\n");
+    }
+
+    if (!json_path.empty()) {
+      using report::json_number;
+      using report::json_quote;
+      std::string out = "{\n  \"schema\": \"vlacnn.capacity.v1\",\n";
+      out += "  \"net\": " + json_quote(net.name()) + ",\n";
+      out += "  \"query\": {\"load_rps\": " + json_number(q.load_rps);
+      out += ", \"slo_ms\": " + json_number(q.slo_ms);
+      out += ", \"attainment_target\": " + json_number(q.attainment_target);
+      out += ", \"requests\": " + std::to_string(q.requests);
+      out += ", \"seed\": " + std::to_string(q.seed);
+      out += ", \"policy\": " + json_quote(policy_name);
+      out += ", \"max_batch\": " + std::to_string(q.policy.max_batch);
+      out += ", \"flush_ms\": " + json_number(flush_ms);
+      out += ", \"queue_capacity\": " + std::to_string(q.queue_capacity);
+      out += ", \"area_budget_mm2\": " + json_number(q.area_budget_mm2);
+      out += "},\n  \"candidates\": [\n";
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        out += "    " + candidate_json(candidates[i]);
+        if (i + 1 < candidates.size()) out += ",";
+        out += "\n";
+      }
+      out += "  ],\n  \"cheapest\": ";
+      out += best.has_value() ? candidate_json(*best) : "null";
+      out += "\n}\n";
+      std::ofstream f(json_path, std::ios::trunc);
+      if (!f) throw std::runtime_error("cannot write " + json_path);
+      f << out;
+      std::printf("wrote %s (%zu candidates)\n", json_path.c_str(),
+                  candidates.size());
+    }
+    return best.has_value() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vlacnn-capacity: %s\n", e.what());
+    return 2;
+  }
+}
