@@ -51,4 +51,22 @@ VLACNN_THREADS=8 ./build/tools/vlacnn-capacity --net vgg16 --load 20rps \
 cmp "$CAP_DIR/t1.json" "$CAP_DIR/t8.json"
 echo "capacity plan byte-identical at VLACNN_THREADS=1 and 8"
 
+echo "== dispatch: learned-dispatch determinism + selector-cost envelope ====="
+# The learned path adds a per-point bandit (forest training, epsilon-greedy
+# exploration) on top of the capacity run above; its JSON must stay
+# byte-identical across pool sizes too (DESIGN.md §11). Warm cache again.
+VLACNN_THREADS=1 ./build/tools/vlacnn-capacity --net vgg16 --load 20rps \
+  --slo 4000ms --requests 500 --dispatch learned \
+  --json "$CAP_DIR/learned-t1.json" >/dev/null
+VLACNN_THREADS=8 ./build/tools/vlacnn-capacity --net vgg16 --load 20rps \
+  --slo 4000ms --requests 500 --dispatch learned \
+  --json "$CAP_DIR/learned-t8.json" >/dev/null
+cmp "$CAP_DIR/learned-t1.json" "$CAP_DIR/learned-t8.json"
+echo "learned-dispatch capacity plan byte-identical at VLACNN_THREADS=1 and 8"
+# bench_dispatch_overhead self-gates: exit 1 if the FlatForest lowering
+# disagrees with RandomForest::predict anywhere on the selection dataset, or
+# if the measured selector cost escapes the committed default
+# (BENCH_dispatch_overhead.json pairs with kDefaultDispatchCyclesPerLayer).
+./build/bench/bench_dispatch_overhead
+
 echo "== ci.sh: all green ===================================================="

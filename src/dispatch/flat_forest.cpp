@@ -1,0 +1,87 @@
+#include "dispatch/flat_forest.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace vlacnn::dispatch {
+
+FlatForest::FlatForest(const RandomForest& forest, int num_labels) {
+  if (forest.tree_count() == 0) {
+    throw std::invalid_argument("flat_forest: forest is not fitted");
+  }
+  if (num_labels < 1 || num_labels > kMaxLabels) {
+    throw std::invalid_argument("flat_forest: num_labels " +
+                                std::to_string(num_labels) +
+                                " outside [1, " + std::to_string(kMaxLabels) +
+                                "]");
+  }
+  num_labels_ = num_labels;
+  num_features_ = forest.num_features();
+
+  std::size_t total = 0;
+  for (const DecisionTree& t : forest.trees()) total += t.node_count();
+  nodes_.reserve(total);
+  roots_.reserve(forest.tree_count());
+
+  for (std::size_t ti = 0; ti < forest.trees().size(); ++ti) {
+    const auto& src = forest.trees()[ti].nodes();
+    if (src.empty()) {
+      throw std::invalid_argument("flat_forest: tree " + std::to_string(ti) +
+                                  " has no nodes");
+    }
+    const std::int32_t base = static_cast<std::int32_t>(nodes_.size());
+    roots_.push_back(base);  // DecisionTree roots its node vector at index 0
+    const std::int32_t n = static_cast<std::int32_t>(src.size());
+    for (std::int32_t i = 0; i < n; ++i) {
+      const DecisionTree::Node& s = src[static_cast<std::size_t>(i)];
+      Node d;
+      if (s.feature < 0) {
+        if (s.label < 0 || s.label >= num_labels) {
+          throw std::invalid_argument(
+              "flat_forest: tree " + std::to_string(ti) + " leaf label " +
+              std::to_string(s.label) + " outside [0, " +
+              std::to_string(num_labels) + ")");
+        }
+        d = Node{-1, 0.0f, s.label, -1};
+      } else {
+        if (static_cast<std::size_t>(s.feature) >= num_features_) {
+          throw std::invalid_argument(
+              "flat_forest: tree " + std::to_string(ti) + " splits on feature " +
+              std::to_string(s.feature) + " but the forest has " +
+              std::to_string(num_features_) + " features");
+        }
+        if (s.left < 0 || s.left >= n || s.right < 0 || s.right >= n) {
+          throw std::invalid_argument(
+              "flat_forest: tree " + std::to_string(ti) +
+              " has a child link outside the tree");
+        }
+        d = Node{s.feature, s.threshold, base + s.left, base + s.right};
+      }
+      nodes_.push_back(d);
+    }
+  }
+}
+
+int FlatForest::predict(const float* x, std::size_t n) const {
+  if (n != num_features_) {
+    throw std::invalid_argument("flat_forest: expected " +
+                                std::to_string(num_features_) +
+                                " features, got " + std::to_string(n));
+  }
+  int votes[kMaxLabels] = {0};
+  for (const std::int32_t root : roots_) {
+    std::int32_t i = root;
+    while (nodes_[static_cast<std::size_t>(i)].feature >= 0) {
+      const Node& nd = nodes_[static_cast<std::size_t>(i)];
+      i = x[nd.feature] <= nd.threshold ? nd.left : nd.right;
+    }
+    ++votes[nodes_[static_cast<std::size_t>(i)].left];
+  }
+  int best = 0;
+  for (int l = 1; l < num_labels_; ++l) {
+    if (votes[l] > votes[best]) best = l;  // strict: ties keep the lowest label
+  }
+  return best;
+}
+
+}  // namespace vlacnn::dispatch

@@ -1,0 +1,272 @@
+#include "dispatch/learned_dispatcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "ml/dataset.h"
+#include "obs/metrics.h"
+#include "report/collector.h"
+
+namespace vlacnn::dispatch {
+
+double default_dispatch_cycles() {
+  const char* v = std::getenv("VLACNN_DISPATCH_CYCLES");
+  if (v == nullptr) return kDefaultDispatchCyclesPerLayer;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !(parsed > 0) || !std::isfinite(parsed)) {
+    throw std::runtime_error(
+        "VLACNN_DISPATCH_CYCLES: expected a positive number of cycles, got '" +
+        std::string(v) + "'");
+  }
+  return parsed;
+}
+
+namespace {
+
+/// Index of the forest's fallback algorithm when its prediction is not
+/// applicable to a layer: gemm6, the repo-wide universal fallback (see
+/// SweepDriver::network_rows), by kAllAlgos position.
+std::size_t gemm6_index() {
+  for (std::size_t a = 0; a < kAllAlgos.size(); ++a) {
+    if (kAllAlgos[a] == Algo::kGemm6) return a;
+  }
+  return 0;  // unreachable with the current registry
+}
+
+}  // namespace
+
+LearnedDispatcher::LearnedDispatcher(const FlatForest* forest,
+                                     LayerCycleTable table,
+                                     std::vector<std::vector<float>> features,
+                                     double weight_bytes,
+                                     const DispatchConfig& cfg)
+    : forest_(forest),
+      table_(std::move(table)),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  if (forest_ == nullptr) {
+    throw std::invalid_argument("dispatch: null forest");
+  }
+  if (table_.empty() || features.size() != table_.size()) {
+    throw std::invalid_argument(
+        "dispatch: cycle table and feature vectors must cover the same "
+        "non-empty layer set");
+  }
+  if (!(cfg_.dispatch_cycles_per_layer > 0)) {
+    throw std::invalid_argument(
+        "dispatch: dispatch_cycles_per_layer must be positive");
+  }
+  if (!(cfg_.epsilon >= 0) || cfg_.epsilon > 1) {
+    throw std::invalid_argument("dispatch: epsilon must be in [0, 1]");
+  }
+  if (!(cfg_.mem_bytes_per_cycle > 0)) {
+    throw std::invalid_argument(
+        "dispatch: mem_bytes_per_cycle must be positive");
+  }
+  weight_cycles_ = weight_bytes / cfg_.mem_bytes_per_cycle;
+
+  const std::size_t layers = table_.size();
+  stats_.layers = static_cast<int>(layers);
+  plan_.resize(layers);
+  untried_.resize(layers);
+
+  const std::size_t fallback = gemm6_index();
+  for (std::size_t l = 0; l < layers; ++l) {
+    // Oracle argmin over applicable algorithms (lowest index wins ties, the
+    // same order network_optimal reduces in).
+    std::size_t oracle = kAllAlgos.size();
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < kAllAlgos.size(); ++a) {
+      const double c = table_[l][a];
+      if (std::isnan(c)) continue;
+      if (!(c > 0)) {
+        throw std::invalid_argument("dispatch: non-positive cycles at layer " +
+                                    std::to_string(l));
+      }
+      if (c < best) {
+        best = c;
+        oracle = a;
+      }
+    }
+    if (oracle == kAllAlgos.size()) {
+      throw std::invalid_argument("dispatch: layer " + std::to_string(l) +
+                                  " has no applicable algorithm");
+    }
+    oracle_per_image_ += best;
+
+    int predicted = forest_->predict(features[l]);
+    if (predicted < 0 || static_cast<std::size_t>(predicted) >= kAllAlgos.size() ||
+        std::isnan(table_[l][static_cast<std::size_t>(predicted)])) {
+      predicted = static_cast<int>(
+          std::isnan(table_[l][fallback]) ? oracle : fallback);
+    }
+    plan_[l] = predicted;
+
+    if (static_cast<std::size_t>(predicted) != oracle) {
+      ++stats_.mispredicted_layers;
+      // Everything applicable except the (already observed) prediction is
+      // fair game for exploration; a correctly-predicted layer is converged
+      // from the start and never pays exploration cost.
+      for (std::size_t a = 0; a < kAllAlgos.size(); ++a) {
+        if (a == static_cast<std::size_t>(predicted)) continue;
+        if (!std::isnan(table_[l][a])) {
+          untried_[l].push_back(static_cast<int>(a));
+        }
+      }
+    }
+  }
+}
+
+bool LearnedDispatcher::converged() const {
+  for (const auto& u : untried_) {
+    if (!u.empty()) return false;
+  }
+  return true;
+}
+
+double LearnedDispatcher::service_cycles(int batch) {
+  if (batch < 1) {
+    throw std::invalid_argument("dispatch: batch must be >= 1");
+  }
+  ++stats_.batches;
+  stats_.images += static_cast<std::uint64_t>(batch);
+
+  double per_image = 0;
+  for (std::size_t l = 0; l < plan_.size(); ++l) {
+    std::size_t choice = static_cast<std::size_t>(plan_[l]);
+    auto& untried = untried_[l];
+    if (!untried.empty() && rng_.next_float() < cfg_.epsilon) {
+      // Explore one untried applicable algorithm; the whole batch pays its
+      // (possibly worse) cycles — the honest cost of learning online.
+      const std::size_t pick = untried.size() == 1
+                                   ? 0
+                                   : static_cast<std::size_t>(rng_.next_below(
+                                         untried.size()));
+      choice = static_cast<std::size_t>(untried[pick]);
+      untried.erase(untried.begin() + static_cast<std::ptrdiff_t>(pick));
+      ++stats_.explorations;
+      // Greedy adoption: keep the best algorithm observed so far. Ties keep
+      // the incumbent, matching the oracle's lowest-index reduction only
+      // once the true argmin has been observed — which is the point.
+      if (table_[l][choice] < table_[l][static_cast<std::size_t>(plan_[l])]) {
+        plan_[l] = static_cast<int>(choice);
+      }
+    }
+    per_image += table_[l][choice];
+  }
+
+  const double b = static_cast<double>(batch);
+  stats_.learned_conv_cycles += b * per_image;
+  stats_.oracle_conv_cycles += b * oracle_per_image_;
+  const double selector =
+      b * static_cast<double>(stats_.layers) * cfg_.dispatch_cycles_per_layer;
+  stats_.selector_cycles += selector;
+
+  // Same batching economics as serving::batch_cost_model: the first image of
+  // a batch streams the conv weights from DRAM, later images reuse them, and
+  // the amortizable share is clamped to half the per-image cost.
+  const double amortizable = std::min(weight_cycles_, 0.5 * per_image);
+  return per_image + (b - 1.0) * (per_image - amortizable) + selector;
+}
+
+namespace {
+
+/// Factory-built wrapper: forwards service_cycles to the dispatcher and, on
+/// destruction (the planner destroys it right after the point's simulation
+/// completes), publishes the final stats to obs metrics and the report
+/// collector. Destruction order inside the planner guarantees the stats are
+/// final; the collector/metrics sinks are thread-safe and keyed/commutative,
+/// so concurrent grid points publish safely.
+class ReportingLearnedModel final : public serving::ServiceModel {
+ public:
+  ReportingLearnedModel(std::unique_ptr<LearnedDispatcher> d,
+                        std::shared_ptr<const FlatForest> forest,
+                        report::DispatchCell cell)
+      : d_(std::move(d)), forest_(std::move(forest)), cell_(std::move(cell)) {}
+
+  double service_cycles(int batch) override {
+    return d_->service_cycles(batch);
+  }
+
+  ~ReportingLearnedModel() override {
+    const DispatchStats& s = d_->stats();
+    if (obs::metrics_enabled()) {
+      auto& reg = obs::Registry::global();
+      reg.counter("dispatch.batches").add(s.batches);
+      reg.counter("dispatch.images").add(s.images);
+      reg.counter("dispatch.explorations").add(s.explorations);
+      reg.counter("dispatch.mispredicted_layers")
+          .add(static_cast<std::uint64_t>(s.mispredicted_layers));
+      // Distribution of per-point gaps in basis points: bucket counts are
+      // order-independent, so the histogram is deterministic across thread
+      // counts; the float gauge keeps the last finished point's exact gap.
+      reg.histogram("dispatch.oracle_gap_bp")
+          .observe(static_cast<std::uint64_t>(
+              std::llround(std::max(s.oracle_gap(), 0.0) * 1e4)));
+      reg.float_gauge("dispatch.last_oracle_gap").set(s.oracle_gap());
+    }
+    if (report::enabled()) {
+      cell_.layers = s.layers;
+      cell_.mispredicted_layers = s.mispredicted_layers;
+      cell_.batches = s.batches;
+      cell_.images = s.images;
+      cell_.explorations = s.explorations;
+      cell_.learned_conv_cycles = s.learned_conv_cycles;
+      cell_.oracle_conv_cycles = s.oracle_conv_cycles;
+      cell_.selector_cycles = s.selector_cycles;
+      cell_.oracle_gap = s.oracle_gap();
+      report::Collector::global().record_dispatch(cell_);
+    }
+  }
+
+ private:
+  std::unique_ptr<LearnedDispatcher> d_;
+  std::shared_ptr<const FlatForest> forest_;  ///< keeps d_'s forest alive
+  report::DispatchCell cell_;
+};
+
+}  // namespace
+
+serving::ServiceModelFactory learned_service_factory(
+    std::shared_ptr<const FlatForest> forest, SweepDriver* driver,
+    const Network& net, const DispatchConfig& cfg) {
+  if (forest == nullptr || driver == nullptr) {
+    throw std::invalid_argument(
+        "dispatch: factory needs a forest and a driver");
+  }
+  const double weight_bytes = serving::conv_weight_bytes(net);
+  // The Network is copied into the closure: grid evaluation outlives many a
+  // caller-scope Network, and the copy is a handful of layer descriptors.
+  return [forest = std::move(forest), driver, net, weight_bytes,
+          cfg](const ServingPoint& point)
+             -> std::unique_ptr<serving::ServiceModel> {
+    const std::uint64_t l2_slice = point.l2_slice_bytes();
+    LayerCycleTable table =
+        driver->layer_algo_cycles(net, point.vlen_bits, l2_slice);
+    const auto descs = net.conv_descs();
+    std::vector<std::vector<float>> features;
+    features.reserve(descs.size());
+    for (const ConvLayerDesc& d : descs) {
+      features.push_back(selection_features(point.vlen_bits, l2_slice, d));
+    }
+    auto dispatcher = std::make_unique<LearnedDispatcher>(
+        forest.get(), std::move(table), std::move(features), weight_bytes,
+        cfg);
+    report::DispatchCell cell;
+    cell.net = net.name();
+    cell.cores = point.cores;
+    cell.vlen_bits = point.vlen_bits;
+    cell.l2_total_bytes = point.l2_total_bytes;
+    cell.instances = point.instances;
+    return std::make_unique<ReportingLearnedModel>(std::move(dispatcher),
+                                                   forest, std::move(cell));
+  };
+}
+
+}  // namespace vlacnn::dispatch

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace vlacnn {
 
@@ -30,6 +32,17 @@ int majority(const std::vector<int>& counts) {
 
 void DecisionTree::fit(const Dataset& data, const std::vector<std::size_t>& idx,
                        const TreeParams& params, Rng& rng) {
+  // A label outside [0, num_classes) would index the per-class count arrays
+  // below out of bounds (build_selection_dataset emits -1 for a layer with no
+  // applicable algorithm); reject it up front instead of corrupting memory.
+  for (std::size_t i : idx) {
+    if (data.y[i] < 0 || data.y[i] >= data.num_classes()) {
+      throw std::invalid_argument(
+          "tree: label " + std::to_string(data.y[i]) + " at sample " +
+          std::to_string(i) + " outside [0, " +
+          std::to_string(data.num_classes()) + ")");
+    }
+  }
   nodes_.clear();
   impurity_decrease_.assign(data.num_features(), 0.0);
   std::vector<std::size_t> work = idx;

@@ -22,22 +22,9 @@ struct TreeParams {
 
 class DecisionTree {
  public:
-  /// Fit on the samples selected by `idx` (with multiplicity — bootstrap
-  /// samples repeat indices).
-  void fit(const Dataset& data, const std::vector<std::size_t>& idx,
-           const TreeParams& params, Rng& rng);
-
-  int predict(const std::vector<float>& x) const;
-
-  std::size_t node_count() const { return nodes_.size(); }
-  int depth() const;
-
-  /// Total Gini-impurity decrease attributed to each feature (unnormalised).
-  const std::vector<double>& impurity_decrease() const {
-    return impurity_decrease_;
-  }
-
- private:
+  /// One fitted tree node. Exposed read-only so downstream consumers (the
+  /// flattened dispatch evaluator, src/dispatch/flat_forest) can lower the
+  /// tree into contiguous arrays without re-walking pointers per prediction.
   struct Node {
     int feature = -1;    ///< -1 marks a leaf
     float threshold = 0;
@@ -46,6 +33,27 @@ class DecisionTree {
     int label = 0;
   };
 
+  /// Fit on the samples selected by `idx` (with multiplicity — bootstrap
+  /// samples repeat indices). Throws std::invalid_argument when a selected
+  /// sample's label is outside [0, data.num_classes()) — such a label would
+  /// index the per-class count arrays out of bounds.
+  void fit(const Dataset& data, const std::vector<std::size_t>& idx,
+           const TreeParams& params, Rng& rng);
+
+  int predict(const std::vector<float>& x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const;
+
+  /// The fitted nodes; index 0 is the root, children point into this vector.
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Total Gini-impurity decrease attributed to each feature (unnormalised).
+  const std::vector<double>& impurity_decrease() const {
+    return impurity_decrease_;
+  }
+
+ private:
   int build(const Dataset& data, std::vector<std::size_t>& idx, int depth,
             const TreeParams& params, Rng& rng);
 

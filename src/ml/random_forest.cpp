@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace vlacnn {
 
@@ -34,19 +35,31 @@ void RandomForest::fit(const Dataset& data,
   }
 }
 
-int RandomForest::predict(const std::vector<float>& x) const {
+std::vector<int> RandomForest::votes(const std::vector<float>& x) const {
   if (trees_.empty()) throw std::logic_error("forest: not fitted");
-  std::vector<int> votes(16, 0);
+  std::vector<int> tally(16, 0);
   for (const DecisionTree& t : trees_) {
     const int label = t.predict(x);
-    if (label >= static_cast<int>(votes.size())) {
-      votes.resize(label + 1, 0);
+    // A negative label cannot come from a valid fit (fit() rejects negative
+    // training labels); writing tally[label] with it would be an
+    // out-of-bounds store, so fail loudly instead.
+    if (label < 0) {
+      throw std::logic_error("forest: corrupt tree produced negative label " +
+                             std::to_string(label));
     }
-    ++votes[label];
+    if (label >= static_cast<int>(tally.size())) {
+      tally.resize(label + 1, 0);
+    }
+    ++tally[label];
   }
+  return tally;
+}
+
+int RandomForest::predict(const std::vector<float>& x) const {
+  const std::vector<int> tally = votes(x);
   int best = 0;
-  for (std::size_t i = 1; i < votes.size(); ++i) {
-    if (votes[i] > votes[best]) best = static_cast<int>(i);
+  for (std::size_t i = 1; i < tally.size(); ++i) {
+    if (tally[i] > tally[best]) best = static_cast<int>(i);
   }
   return best;
 }

@@ -23,6 +23,12 @@ class RandomForest {
 
   int predict(const std::vector<float>& x) const;
 
+  /// Per-label vote counts across all trees (index = label). Ties resolve to
+  /// the lowest label in predict(); exposing the raw tally lets tests and the
+  /// flattened evaluator verify that rule. Throws std::logic_error if any
+  /// tree emits a negative label (a corrupt tree).
+  std::vector<int> votes(const std::vector<float>& x) const;
+
   /// Fraction of correctly predicted samples among `idx`.
   double accuracy(const Dataset& data,
                   const std::vector<std::size_t>& idx) const;
@@ -31,6 +37,10 @@ class RandomForest {
   std::vector<double> feature_importances() const;
 
   std::size_t tree_count() const { return trees_.size(); }
+  std::size_t num_features() const { return num_features_; }
+
+  /// The fitted trees, read-only — consumed by dispatch::FlatForest.
+  const std::vector<DecisionTree>& trees() const { return trees_; }
 
  private:
   std::vector<DecisionTree> trees_;

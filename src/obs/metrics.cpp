@@ -4,6 +4,7 @@
 #include <bit>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -134,6 +135,20 @@ void Gauge::reset() noexcept {
   max_.store(0, std::memory_order_relaxed);
 }
 
+// -- FloatGauge ---------------------------------------------------------------
+
+void FloatGauge::set(double v) noexcept {
+  v_.store(v, std::memory_order_relaxed);
+}
+
+double FloatGauge::value() const noexcept {
+  return v_.load(std::memory_order_relaxed);
+}
+
+void FloatGauge::reset() noexcept {
+  v_.store(0.0, std::memory_order_relaxed);
+}
+
 // -- Histogram ----------------------------------------------------------------
 
 void Histogram::observe(std::uint64_t v) noexcept {
@@ -199,6 +214,13 @@ Gauge& Registry::gauge(const std::string& name) {
   return *slot;
 }
 
+FloatGauge& Registry::float_gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = float_gauges_[name];
+  if (!slot) slot = std::make_unique<FloatGauge>();
+  return *slot;
+}
+
 Histogram& Registry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   auto& slot = histograms_[name];
@@ -210,6 +232,7 @@ void Registry::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, g] : float_gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
@@ -228,6 +251,11 @@ std::string Registry::report_text() const {
     std::snprintf(buf, sizeof(buf), "gauge      %-42s %20lld  (max %lld)\n",
                   name.c_str(), static_cast<long long>(g->value()),
                   static_cast<long long>(g->max()));
+    out += buf;
+  }
+  for (const auto& [name, g] : float_gauges_) {
+    std::snprintf(buf, sizeof(buf), "gauge      %-42s %20.6g\n", name.c_str(),
+                  g->value());
     out += buf;
   }
   for (const auto& [name, h] : histograms_) {
@@ -265,6 +293,21 @@ std::string Registry::report_json() const {
     json_append_escaped(out, name);
     out += ":{\"value\":" + std::to_string(g->value()) +
            ",\"max\":" + std::to_string(g->max()) + '}';
+  }
+  out += "},\"float_gauges\":{";
+  first = true;
+  for (const auto& [name, g] : float_gauges_) {
+    if (!first) out += ',';
+    first = false;
+    json_append_escaped(out, name);
+    const double v = g->value();
+    if (std::isfinite(v)) {
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.17g", v);
+      out += ':' + std::string(num);
+    } else {
+      out += ":null";  // inf/NaN are not valid JSON literals
+    }
   }
   out += "},\"histograms\":{";
   first = true;

@@ -73,6 +73,20 @@ class Gauge {
   std::atomic<std::int64_t> max_{0};
 };
 
+/// Gauge over a double — for ratios and fractions (oracle gap, hit rates)
+/// that an integer gauge would truncate to zero. Same discipline as Gauge:
+/// relaxed atomics, references stay valid forever, reset() zeroes in place.
+/// No max tracking — fractional gauges get read for their latest value.
+class FloatGauge {
+ public:
+  void set(double v) noexcept;
+  double value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
 /// Histogram over unsigned values with fixed log2 buckets: bucket 0 holds the
 /// value 0, bucket i >= 1 holds [2^(i-1), 2^i). 65 buckets cover the full
 /// uint64 range, so observe() is a bit_width plus two relaxed adds — no
@@ -108,6 +122,7 @@ class Registry {
  public:
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  FloatGauge& float_gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
   /// Human-readable dump of every instrument, sorted by name.
@@ -125,6 +140,7 @@ class Registry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FloatGauge>> float_gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

@@ -95,6 +95,12 @@ void Collector::record_request_sim(const RequestSimCell& cell) {
                 cell.instances, cell.policy, cell.arrivals}] = cell;
 }
 
+void Collector::record_dispatch(const DispatchCell& cell) {
+  std::lock_guard<std::mutex> lk(mu_);
+  dispatch_[{cell.net, cell.cores, cell.vlen_bits, cell.l2_total_bytes,
+             cell.instances}] = cell;
+}
+
 RunReport Collector::snapshot(const std::string& tool, double wall_ms,
                               const RooflineParams& p) const {
   RunReport r;
@@ -110,6 +116,8 @@ RunReport Collector::snapshot(const std::string& tool, double wall_ms,
   for (const auto& [key, cell] : serving_) r.serving.push_back(cell);
   r.request_sim.reserve(request_sim_.size());
   for (const auto& [key, cell] : request_sim_) r.request_sim.push_back(cell);
+  r.dispatch.reserve(dispatch_.size());
+  for (const auto& [key, cell] : dispatch_) r.dispatch.push_back(cell);
   return r;
 }
 
@@ -118,6 +126,7 @@ void Collector::reset() {
   rows_.clear();
   serving_.clear();
   request_sim_.clear();
+  dispatch_.clear();
 }
 
 std::size_t Collector::row_count() const {

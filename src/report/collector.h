@@ -47,6 +47,11 @@ class Collector {
   /// writers for a key carry identical stats by the determinism guarantee).
   void record_request_sim(const RequestSimCell& cell);
 
+  /// Record one learned-dispatch outcome (thread-safe; keyed by net + grid
+  /// point, last write wins — the dispatcher is seeded per point, so
+  /// concurrent writers for a key carry identical stats).
+  void record_dispatch(const DispatchCell& cell);
+
   /// Assemble everything recorded so far into a report.
   RunReport snapshot(const std::string& tool, double wall_ms,
                      const RooflineParams& p = {}) const;
@@ -65,6 +70,9 @@ class Collector {
                       std::string>,
            RequestSimCell>
       request_sim_;
+  std::map<std::tuple<std::string, int, std::uint32_t, std::uint64_t, int>,
+           DispatchCell>
+      dispatch_;
 };
 
 /// Called by bench::banner(): when VLACNN_REPORT is set, remembers the run's

@@ -238,9 +238,30 @@ std::string RunReport::to_json() const {
     out += ", \"slo_attainment\": " + json_number(c.slo_attainment) + "}";
   }
   out += request_sim.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"dispatch\": [";
+  for (std::size_t i = 0; i < dispatch.size(); ++i) {
+    const DispatchCell& c = dispatch[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"net\": " + json_quote(c.net);
+    out += ", \"cores\": " + std::to_string(c.cores);
+    out += ", \"vlen_bits\": " + std::to_string(c.vlen_bits);
+    out += ", \"l2_total_bytes\": " + std::to_string(c.l2_total_bytes);
+    out += ", \"instances\": " + std::to_string(c.instances);
+    out += ",\n     \"layers\": " + std::to_string(c.layers);
+    out += ", \"mispredicted_layers\": " + std::to_string(c.mispredicted_layers);
+    out += ", \"batches\": " + std::to_string(c.batches);
+    out += ", \"images\": " + std::to_string(c.images);
+    out += ", \"explorations\": " + std::to_string(c.explorations);
+    out += ",\n     \"learned_conv_cycles\": " + json_number(c.learned_conv_cycles);
+    out += ", \"oracle_conv_cycles\": " + json_number(c.oracle_conv_cycles);
+    out += ", \"selector_cycles\": " + json_number(c.selector_cycles);
+    out += ", \"oracle_gap\": " + json_number(c.oracle_gap) + "}";
+  }
+  out += dispatch.empty() ? "],\n" : "\n  ],\n";
   out += "  \"totals\": {\"entries\": " + std::to_string(entries.size()) +
          ", \"serving_cells\": " + std::to_string(serving.size()) +
          ", \"request_sim_cells\": " + std::to_string(request_sim.size()) +
+         ", \"dispatch_cells\": " + std::to_string(dispatch.size()) +
          ", \"cycles\": " + json_number(total_cycles()) + "}\n";
   out += "}\n";
   return out;
@@ -395,6 +416,29 @@ RunReport report_from_json(const std::string& text) {
       r.request_sim.push_back(c);
     }
   }
+
+  // Optional for the same reason: only learned-dispatch runs emit it.
+  if (const Json* dp = doc.find("dispatch"); dp != nullptr) {
+    for (const Json& s : dp->array) {
+      DispatchCell c;
+      c.net = str_at(s, "net");
+      c.cores = int_at(s, "cores");
+      c.vlen_bits = static_cast<std::uint32_t>(num_at(s, "vlen_bits"));
+      c.l2_total_bytes =
+          static_cast<std::uint64_t>(num_at(s, "l2_total_bytes"));
+      c.instances = int_at(s, "instances");
+      c.layers = int_at(s, "layers");
+      c.mispredicted_layers = int_at(s, "mispredicted_layers");
+      c.batches = static_cast<std::uint64_t>(num_at(s, "batches"));
+      c.images = static_cast<std::uint64_t>(num_at(s, "images"));
+      c.explorations = static_cast<std::uint64_t>(num_at(s, "explorations"));
+      c.learned_conv_cycles = num_at(s, "learned_conv_cycles");
+      c.oracle_conv_cycles = num_at(s, "oracle_conv_cycles");
+      c.selector_cycles = num_at(s, "selector_cycles");
+      c.oracle_gap = num_at(s, "oracle_gap");
+      r.dispatch.push_back(c);
+    }
+  }
   return r;
 }
 
@@ -529,6 +573,23 @@ std::string summarize(const RunReport& r) {
                     static_cast<double>(c.l2_total_bytes) / (1024.0 * 1024.0),
                     c.instances, c.policy.c_str(), c.p50, c.p99, c.p999,
                     c.utilization, 100.0 * c.slo_attainment);
+      out += line;
+    }
+  }
+  if (!r.dispatch.empty()) {
+    std::snprintf(line, sizeof line,
+                  "\n%-8s %6s %6s %8s %5s %6s %6s %10s %10s %8s\n", "net",
+                  "cores", "vlen", "l2MB", "inst", "layers", "mispr",
+                  "explored", "selector", "gap%");
+    out += line;
+    for (const DispatchCell& c : r.dispatch) {
+      std::snprintf(line, sizeof line,
+                    "%-8s %6d %6u %8.1f %5d %6d %6d %10llu %10.4g %8.3f\n",
+                    c.net.c_str(), c.cores, c.vlen_bits,
+                    static_cast<double>(c.l2_total_bytes) / (1024.0 * 1024.0),
+                    c.instances, c.layers, c.mispredicted_layers,
+                    static_cast<unsigned long long>(c.explorations),
+                    c.selector_cycles, 100.0 * c.oracle_gap);
       out += line;
     }
   }

@@ -84,6 +84,25 @@ struct RequestSimCell {
   double slo_attainment = 1;
 };
 
+/// One learned-dispatch run's outcome at a grid point (mirrors
+/// dispatch::DispatchStats without depending on src/dispatch/, which sits
+/// above the report layer in the link order). Cycle fields are totals over
+/// every simulated image; oracle_gap is (learned + selector) / oracle - 1.
+struct DispatchCell {
+  std::string net;
+  int cores = 1;
+  std::uint32_t vlen_bits = 512;
+  std::uint64_t l2_total_bytes = 0;
+  int instances = 1;
+  int layers = 0;               ///< conv layers dispatched per image
+  int mispredicted_layers = 0;  ///< forest picks != oracle argmin, pre-bandit
+  std::uint64_t batches = 0, images = 0, explorations = 0;
+  double learned_conv_cycles = 0;  ///< conv cycles under the learned plans
+  double oracle_conv_cycles = 0;   ///< conv cycles under per-layer argmin
+  double selector_cycles = 0;      ///< charged forest-inference cycles
+  double oracle_gap = 0;
+};
+
 struct ReportEntry {
   SweepRow row;
   Attribution attr;
@@ -98,6 +117,7 @@ struct RunReport {
   std::vector<ReportEntry> entries;  ///< sorted by SweepKey
   std::vector<ServingCell> serving;
   std::vector<RequestSimCell> request_sim;  ///< request-level serving stats
+  std::vector<DispatchCell> dispatch;       ///< learned-dispatch outcomes
 
   double total_cycles() const;
   std::string to_json() const;

@@ -37,6 +37,11 @@ BatchCostModel batch_cost_model(SweepDriver& driver, const Network& net,
                                 std::uint64_t l2_slice_bytes,
                                 std::optional<Algo> fixed,
                                 double mem_bytes_per_cycle) {
+  // The negated comparison also rejects NaN, which `<= 0` would let through.
+  if (!(mem_bytes_per_cycle > 0)) {
+    throw std::invalid_argument(
+        "batch_cost_model: mem_bytes_per_cycle must be positive");
+  }
   double per_image = 0;
   if (fixed.has_value()) {
     per_image = driver.network_cycles(net, *fixed, vlen_bits, l2_slice_bytes);
@@ -56,20 +61,29 @@ double conv_weight_bytes(const Network& net) {
   return bytes;
 }
 
-double nearest_rank(const std::vector<double>& sorted_ascending, double q) {
-  if (sorted_ascending.empty()) {
+std::size_t nearest_rank_index(std::size_t n, double q) {
+  if (n == 0) {
     throw std::invalid_argument("nearest_rank: empty sample");
   }
   if (!(q > 0.0) || q > 1.0) {
     throw std::invalid_argument("nearest_rank: q must be in (0, 1]");
   }
-  const double n = static_cast<double>(sorted_ascending.size());
-  // ceil(q*n) with a relative epsilon guard so q values that are exact in
-  // decimal but not in binary (0.2 * 10 etc.) cannot round one rank up.
-  std::size_t rank = static_cast<std::size_t>(std::ceil(q * n - 1e-9));
+  // ceil(q*n) with a *relative* epsilon guard so q values that are exact in
+  // decimal but not in binary (0.2 * 10 etc.) cannot round one rank up. The
+  // guard must scale with q*n: an absolute one (the old `- 1e-9`) is smaller
+  // than one ulp of q*n once n exceeds ~1e7, and stops guarding anything.
+  // 1e-12 is ~4 decimal orders above the relative rounding error of the
+  // multiply (~1e-16) and well below the 1/n gap between adjacent ranks for
+  // any sample a simulation can hold.
+  const double scaled = q * static_cast<double>(n);
+  std::size_t rank = static_cast<std::size_t>(std::ceil(scaled * (1.0 - 1e-12)));
   if (rank < 1) rank = 1;
-  if (rank > sorted_ascending.size()) rank = sorted_ascending.size();
-  return sorted_ascending[rank - 1];
+  if (rank > n) rank = n;
+  return rank - 1;
+}
+
+double nearest_rank(const std::vector<double>& sorted_ascending, double q) {
+  return sorted_ascending[nearest_rank_index(sorted_ascending.size(), q)];
 }
 
 double ServingStats::throughput_rps(double clock_hz) const {
@@ -108,8 +122,9 @@ ServingStats simulate_requests(const RequestSimConfig& cfg,
   if (cfg.instances < 1) {
     throw std::invalid_argument("simulate_requests: need >= 1 instance");
   }
-  if (!(cfg.cost.first_image_cycles > 0) ||
-      !(cfg.cost.marginal_image_cycles >= 0)) {
+  if (cfg.service == nullptr &&
+      (!(cfg.cost.first_image_cycles > 0) ||
+       !(cfg.cost.marginal_image_cycles >= 0))) {
     throw std::invalid_argument(
         "simulate_requests: batch cost model must have positive first-image "
         "and non-negative marginal cycles");
@@ -179,7 +194,14 @@ ServingStats simulate_requests(const RequestSimConfig& cfg,
         members.push_back(queue.front());
         queue.pop_front();
       }
-      const double service = cfg.cost.service_cycles(n);
+      const double service = cfg.service != nullptr
+                                 ? cfg.service->service_cycles(n)
+                                 : cfg.cost.service_cycles(n);
+      if (!(service > 0) || !std::isfinite(service)) {
+        throw std::logic_error(
+            "simulate_requests: service model returned a non-positive or "
+            "non-finite batch time");
+      }
       busy.push({now + service, inst});
       busy_cycles += service;
       ++s.batches;
@@ -299,21 +321,15 @@ ServingStats simulate_requests(const RequestSimConfig& cfg,
   return s;
 }
 
-CapacityCandidate CapacityPlanner::evaluate(const Network& net,
-                                            const ServingPoint& point,
-                                            const CapacityQuery& q,
-                                            std::optional<Algo> fixed) const {
-  if (!(q.load_rps > 0) || !(q.slo_ms > 0) || !(q.clock_hz > 0)) {
-    throw std::invalid_argument(
-        "CapacityPlanner: load, SLO, and clock must be positive");
-  }
+CapacityCandidate CapacityPlanner::simulate_point(const Network& net,
+                                                  const ServingPoint& point,
+                                                  const CapacityQuery& q,
+                                                  std::optional<Algo> eval_fixed,
+                                                  RequestSimConfig rc) const {
   CapacityCandidate c;
-  c.eval = sim_.evaluate(net, point, fixed);
+  c.eval = sim_.evaluate(net, point, eval_fixed);
 
-  RequestSimConfig rc;
   rc.instances = point.instances;
-  rc.cost = batch_cost_model(*driver_, net, point.vlen_bits,
-                             point.l2_slice_bytes(), fixed);
   rc.queue_capacity = q.queue_capacity;
   rc.slo_cycles = q.slo_ms * 1e-3 * q.clock_hz;
 
@@ -354,6 +370,44 @@ CapacityCandidate CapacityPlanner::evaluate(const Network& net,
   return c;
 }
 
+CapacityCandidate CapacityPlanner::evaluate(const Network& net,
+                                            const ServingPoint& point,
+                                            const CapacityQuery& q,
+                                            std::optional<Algo> fixed) const {
+  if (!(q.load_rps > 0) || !(q.slo_ms > 0) || !(q.clock_hz > 0)) {
+    throw std::invalid_argument(
+        "CapacityPlanner: load, SLO, and clock must be positive");
+  }
+  RequestSimConfig rc;
+  rc.cost = batch_cost_model(*driver_, net, point.vlen_bits,
+                             point.l2_slice_bytes(), fixed);
+  return simulate_point(net, point, q, fixed, rc);
+}
+
+CapacityCandidate CapacityPlanner::evaluate(
+    const Network& net, const ServingPoint& point, const CapacityQuery& q,
+    const ServiceModelFactory& factory) const {
+  if (!(q.load_rps > 0) || !(q.slo_ms > 0) || !(q.clock_hz > 0)) {
+    throw std::invalid_argument(
+        "CapacityPlanner: load, SLO, and clock must be positive");
+  }
+  if (!factory) {
+    throw std::invalid_argument("CapacityPlanner: empty service factory");
+  }
+  // The model lives exactly as long as the simulation; a model with an
+  // end-of-run side effect (the learned dispatcher records its dispatch cell
+  // on destruction) fires it here, after the stats are final.
+  std::unique_ptr<ServiceModel> model = factory(point);
+  if (model == nullptr) {
+    throw std::invalid_argument("CapacityPlanner: factory returned null");
+  }
+  RequestSimConfig rc;
+  rc.service = model.get();
+  // eval_fixed = nullopt: the steady-state side reports the oracle per-image
+  // cycles, the natural baseline to read a learned candidate's stats against.
+  return simulate_point(net, point, q, std::nullopt, rc);
+}
+
 std::vector<CapacityCandidate> CapacityPlanner::evaluate_grid(
     const Network& net, const CapacityQuery& q, std::optional<Algo> fixed,
     ThreadPool* pool) const {
@@ -376,6 +430,31 @@ std::vector<CapacityCandidate> CapacityPlanner::evaluate_grid(
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
   p.parallel_for(points.size(), [&](std::size_t i) {
     out[i] = evaluate(net, points[i], q, fixed);
+  });
+  return out;
+}
+
+std::vector<CapacityCandidate> CapacityPlanner::evaluate_grid(
+    const Network& net, const CapacityQuery& q,
+    const ServiceModelFactory& factory, ThreadPool* pool) const {
+  const std::vector<ServingPoint> points = ServingSimulator::grid_points();
+  obs::Span span("serving.capacity_grid");
+  if (span.active()) {
+    span.arg("net", net.name());
+    span.arg("points", std::to_string(points.size()));
+    span.arg("dispatch", "factory");
+  }
+  obs::log(obs::LogLevel::kInfo, "serving", "capacity_grid",
+           {{"net", net.name()},
+            {"points", std::to_string(points.size())},
+            {"dispatch", "factory"}});
+  // Same pre-sized-slot discipline as the fixed-cost grid: each point's model
+  // comes from the (thread-safe) factory and depends only on the point, so
+  // the result vector is byte-identical across pool sizes.
+  std::vector<CapacityCandidate> out(points.size());
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(points.size(), [&](std::size_t i) {
+    out[i] = evaluate(net, points[i], q, factory);
   });
   return out;
 }

@@ -19,6 +19,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,13 +55,43 @@ struct BatchCostModel {
 /// pins an algorithm) at (vlen, L2 slice); the amortizable share is the
 /// conv-weight footprint streamed at `mem_bytes_per_cycle` (the roofline's
 /// 6.4 B/cycle DDR4 default), clamped to at most half of the per-image cost
-/// so a pathological model never yields near-zero marginal cost.
+/// so a pathological model never yields near-zero marginal cost. Throws
+/// std::invalid_argument when mem_bytes_per_cycle is not positive (the
+/// division would silently yield inf/NaN cycles).
 /// Thread-safe (SweepDriver is; used concurrently by the capacity planner).
 BatchCostModel batch_cost_model(SweepDriver& driver, const Network& net,
                                 std::uint32_t vlen_bits,
                                 std::uint64_t l2_slice_bytes,
                                 std::optional<Algo> fixed,
                                 double mem_bytes_per_cycle = 6.4);
+
+/// Per-batch service-time source for the event loop. The fixed/oracle path
+/// wraps a BatchCostModel; the learned dispatcher (src/dispatch) re-plans the
+/// per-layer algorithm choice on every call. Models may be stateful — the
+/// loop calls service_cycles() exactly once per dispatched batch, in the
+/// deterministic event order — but are not thread-safe: one model per
+/// simulation, like the arrival process.
+class ServiceModel {
+ public:
+  virtual ~ServiceModel() = default;
+
+  /// Cycles one instance needs to serve a batch of `batch` images (>= 1).
+  /// Must return a positive, finite value.
+  virtual double service_cycles(int batch) = 0;
+};
+
+/// ServiceModel over a fixed BatchCostModel — stateless, the pre-dispatch
+/// behaviour of simulate_requests.
+class FixedServiceModel final : public ServiceModel {
+ public:
+  explicit FixedServiceModel(const BatchCostModel& cost) : cost_(cost) {}
+  double service_cycles(int batch) override {
+    return cost_.service_cycles(batch);
+  }
+
+ private:
+  BatchCostModel cost_;
+};
 
 /// Total fp32 conv-weight bytes of a network (the per-batch amortizable DRAM
 /// traffic in the cost model above).
@@ -70,6 +102,11 @@ double conv_weight_bytes(const Network& net);
 /// one of the samples, never an interpolation. Throws std::invalid_argument
 /// on an empty vector or q outside (0, 1].
 double nearest_rank(const std::vector<double>& sorted_ascending, double q);
+
+/// The 0-based index nearest_rank() selects for a sample of size n, exposed
+/// so rank arithmetic is testable at any n without materialising a vector.
+/// Throws std::invalid_argument when n == 0 or q is outside (0, 1].
+std::size_t nearest_rank_index(std::size_t n, double q);
 
 /// One simulation's request-level results. All latency fields are in cycles;
 /// use ms() to render at a clock. Counts: offered = completed + dropped once
@@ -109,6 +146,10 @@ struct ServingStats {
 struct RequestSimConfig {
   int instances = 1;              ///< parallel model instances (servers)
   BatchCostModel cost;            ///< per-instance batch service time
+  /// When set, overrides `cost` as the per-batch service-time source (not
+  /// owned; must outlive the simulation). The fixed-cost validation is the
+  /// model's own responsibility in that case.
+  ServiceModel* service = nullptr;
   std::size_t queue_capacity = 0; ///< waiting-room bound; 0 = unbounded
   double slo_cycles = 0;          ///< latency deadline for attainment; 0 = off
 };
@@ -145,6 +186,14 @@ struct CapacityCandidate {
   bool meets_slo = false;  ///< attainment >= target (and under budget, if set)
 };
 
+/// Builds one fresh ServiceModel per simulated grid point. The planner calls
+/// it from pool workers, so the factory must be thread-safe (the models it
+/// returns need not be — each is used by exactly one simulation). Keeps the
+/// serving layer ignorant of how service times are produced: the learned
+/// dispatcher plugs in here without request_sim depending on src/dispatch.
+using ServiceModelFactory =
+    std::function<std::unique_ptr<ServiceModel>(const ServingPoint&)>;
+
 /// Searches the Fig-12 co-location grid for configurations that meet a
 /// latency SLO at a target load, and picks the cheapest (area mm²) one.
 /// Thread-safe const API; grid evaluation fans out per point.
@@ -163,10 +212,24 @@ class CapacityPlanner {
                                                std::optional<Algo> fixed,
                                                ThreadPool* pool = nullptr) const;
 
+  /// Same grid search, with per-batch service times from `factory` instead of
+  /// the fixed oracle cost model (the learned-dispatch path). The steady-state
+  /// eval side (area, cycles_per_image) still reports the per-layer-optimal
+  /// oracle, so a candidate's stats can be read against the oracle baseline.
+  std::vector<CapacityCandidate> evaluate_grid(const Network& net,
+                                               const CapacityQuery& q,
+                                               const ServiceModelFactory& factory,
+                                               ThreadPool* pool = nullptr) const;
+
   /// Evaluate one explicit configuration under the query's load.
   CapacityCandidate evaluate(const Network& net, const ServingPoint& point,
                              const CapacityQuery& q,
                              std::optional<Algo> fixed) const;
+
+  /// Evaluate one configuration with a factory-built service model.
+  CapacityCandidate evaluate(const Network& net, const ServingPoint& point,
+                             const CapacityQuery& q,
+                             const ServiceModelFactory& factory) const;
 
   /// The cheapest (smallest area, ties by enumeration order) candidate with
   /// meets_slo; nullopt when none qualifies.
@@ -174,6 +237,13 @@ class CapacityPlanner {
       const std::vector<CapacityCandidate>& candidates);
 
  private:
+  /// Shared tail of both evaluate() flavours: run the request-level sim for a
+  /// fully-populated RequestSimConfig and fill in stats/meets_slo/report cell.
+  CapacityCandidate simulate_point(const Network& net, const ServingPoint& point,
+                                   const CapacityQuery& q,
+                                   std::optional<Algo> eval_fixed,
+                                   RequestSimConfig rc) const;
+
   ServingSimulator sim_;
   SweepDriver* driver_;
 };

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "obs/log.h"
@@ -238,6 +239,36 @@ SweepDriver::OptimalResult SweepDriver::network_optimal(const Network& net,
   }
   for (double b : best) out.cycles += b;
   return out;
+}
+
+std::vector<std::array<double, kAllAlgos.size()>>
+SweepDriver::layer_algo_cycles(const Network& net, std::uint32_t vlen_bits,
+                               std::uint64_t l2_bytes, std::uint32_t lanes,
+                               VpuAttach attach) {
+  const auto descs = net.conv_descs();
+  // Same applicable (layer, algo) fan-out as network_optimal, but keeping the
+  // full table instead of reducing to the argmin, so a consumer can price any
+  // plan (including deliberately suboptimal exploration) without re-querying.
+  std::vector<SweepRequest> reqs;
+  std::vector<std::pair<std::size_t, std::size_t>> slot_of;  // (layer, algo)
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    for (std::size_t a = 0; a < kAllAlgos.size(); ++a) {
+      if (!algo_applicable(kAllAlgos[a], descs[i])) continue;
+      reqs.push_back({net.name(), static_cast<int>(i), descs[i], kAllAlgos[a],
+                      vlen_bits, l2_bytes, lanes, attach});
+      slot_of.push_back({i, a});
+    }
+  }
+  const std::vector<SweepRow> rows = get_many(reqs);
+
+  std::vector<std::array<double, kAllAlgos.size()>> table(descs.size());
+  for (auto& row : table) {
+    row.fill(std::numeric_limits<double>::quiet_NaN());
+  }
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    table[slot_of[j].first][slot_of[j].second] = rows[j].cycles;
+  }
+  return table;
 }
 
 double SweepDriver::network_plan_cycles(const Network& net,

@@ -10,6 +10,7 @@
 // so parallel output is bit-identical to a serial run.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "algos/registry.h"
@@ -88,6 +89,16 @@ class SweepDriver {
   OptimalResult network_optimal(const Network& net, std::uint32_t vlen_bits,
                                 std::uint64_t l2_bytes, std::uint32_t lanes = 8,
                                 VpuAttach attach = VpuAttach::kIntegratedL1);
+
+  /// Per-layer, per-algorithm cycle table: out[layer][i] is the simulated
+  /// cycles of kAllAlgos[i] on conv layer `layer`, or NaN when that algorithm
+  /// is not applicable to the layer. One parallel fan-out over the same
+  /// (layer, algo) points network_optimal visits — on a warm cache this is
+  /// pure lookup. The learned dispatcher (src/dispatch) consumes this as its
+  /// per-point ground truth.
+  std::vector<std::array<double, kAllAlgos.size()>> layer_algo_cycles(
+      const Network& net, std::uint32_t vlen_bits, std::uint64_t l2_bytes,
+      std::uint32_t lanes = 8, VpuAttach attach = VpuAttach::kIntegratedL1);
 
   /// Cycles of an explicit per-conv-layer plan (plan.size() must equal the
   /// network's conv-layer count).

@@ -155,6 +155,69 @@ TEST(RandomForest, ThrowsOnEmptyTrainingOrUnfitted) {
   EXPECT_THROW(forest.predict({0.0f, 0.0f, 0.0f}), std::logic_error);
 }
 
+TEST(DecisionTree, RejectsOutOfRangeLabels) {
+  // build_selection_dataset labels a layer -1 when no algorithm applies; fed
+  // to fit() unfiltered, that index used to be an out-of-bounds class-count
+  // write. Both ends of the range must fail loudly instead.
+  Dataset ds = separable(50, 18);
+  ds.y[7] = -1;
+  DecisionTree tree;
+  Rng rng(19);
+  EXPECT_THROW(tree.fit(ds, all_indices(ds.size()), TreeParams{}, rng),
+               std::invalid_argument);
+  ds.y[7] = ds.num_classes();  // one past the last valid class
+  Rng rng2(19);
+  EXPECT_THROW(tree.fit(ds, all_indices(ds.size()), TreeParams{}, rng2),
+               std::invalid_argument);
+  // Out-of-range labels outside the training subset are harmless.
+  ds.y[7] = -1;
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (i != 7) rest.push_back(i);
+  }
+  Rng rng3(19);
+  DecisionTree ok;
+  ok.fit(ds, rest, TreeParams{}, rng3);
+  EXPECT_GT(ok.node_count(), 0u);
+}
+
+TEST(RandomForest, RejectsOutOfRangeLabels) {
+  Dataset ds = separable(60, 20);
+  ds.y[3] = -1;
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(ds, all_indices(ds.size()), ForestParams{}),
+               std::invalid_argument);
+}
+
+TEST(RandomForest, VoteTieResolvesToLowestLabel) {
+  // A tiny forest on half-random labels disagrees with itself often; whenever
+  // the tally has multiple maxima, predict() must return the lowest one —
+  // deterministically, across seeds.
+  Dataset ds = noisy(150, 0.5, 21);
+  int ties_seen = 0;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    ForestParams p;
+    p.n_trees = 4;  // even vote count invites ties
+    p.seed = seed;
+    RandomForest forest;
+    forest.fit(ds, all_indices(ds.size()), p);
+    Rng rng(seed ^ 0xabc);
+    for (int i = 0; i < 300; ++i) {
+      const std::vector<float> x{rng.next_float(), rng.next_float(),
+                                 rng.next_float()};
+      const std::vector<int> tally = forest.votes(x);
+      int expected = 0, maxima = 0;
+      for (std::size_t l = 0; l < tally.size(); ++l) {
+        if (tally[l] > tally[expected]) expected = static_cast<int>(l);
+      }
+      for (int v : tally) maxima += v == tally[expected] ? 1 : 0;
+      if (maxima > 1) ++ties_seen;
+      EXPECT_EQ(forest.predict(x), expected);
+    }
+  }
+  EXPECT_GT(ties_seen, 0);  // the tie path was actually exercised
+}
+
 // -------------------------------------------------------- crossval ---------
 
 TEST(CrossVal, SplitIsDisjointAndComplete) {

@@ -264,6 +264,34 @@ TEST(ObsGauge, SetAddAndHighWaterMark) {
   EXPECT_EQ(g.max(), 0);
 }
 
+TEST(ObsFloatGauge, SetValueAndReset) {
+  obs::FloatGauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(0.0073);
+  EXPECT_EQ(g.value(), 0.0073);
+  g.set(-1.5);  // gaps can be negative (learned beat the static oracle plan)
+  EXPECT_EQ(g.value(), -1.5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(ObsFloatGauge, RegistryReportsAndParsesBack) {
+  obs::Registry reg;
+  reg.float_gauge("f.gap").set(0.25);
+  EXPECT_EQ(&reg.float_gauge("f.gap"), &reg.float_gauge("f.gap"));
+  const std::string text = reg.report_text();
+  EXPECT_NE(text.find("f.gap"), std::string::npos);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+  JsonValue root = JsonParser(reg.report_json()).parse();
+  const JsonValue* fg = root.find("float_gauges");
+  ASSERT_NE(fg, nullptr);
+  const JsonValue* v = fg->find("f.gap");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->number, 0.25);
+  reg.reset();
+  EXPECT_EQ(reg.float_gauge("f.gap").value(), 0.0);
+}
+
 TEST(ObsHistogram, BucketBoundaries) {
   // bucket 0 = {0}; bucket i>=1 = [2^(i-1), 2^i).
   EXPECT_EQ(obs::Histogram::bucket_lo(0), 0u);

@@ -158,6 +158,22 @@ TEST(ReportJson, EmitParseRoundTripIsExact) {
   rep.entries.push_back({r1, report::attribute(r1, rep.roofline)});
   rep.entries.push_back({r2, report::attribute(r2, rep.roofline)});
   rep.serving.push_back({4, 1024, 16u << 20, 4, 5e8, 8e-9, 12.5});
+  report::DispatchCell dc;
+  dc.net = "vgg16";
+  dc.cores = 4;
+  dc.vlen_bits = 2048;
+  dc.l2_total_bytes = 8u << 20;
+  dc.instances = 2;
+  dc.layers = 13;
+  dc.mispredicted_layers = 3;
+  dc.batches = 917;
+  dc.images = 3668;
+  dc.explorations = 41;
+  dc.learned_conv_cycles = 1.0 / 7.0;  // %.17g must survive bit-exactly
+  dc.oracle_conv_cycles = 2.0 / 7.0;
+  dc.selector_cycles = 4000.0 * 13 * 3668;
+  dc.oracle_gap = 1.0 / 3.0;
+  rep.dispatch.push_back(dc);
 
   const RunReport back = report::report_from_json(rep.to_json());
   EXPECT_EQ(back.tool, "roundtrip");
@@ -173,7 +189,45 @@ TEST(ReportJson, EmitParseRoundTripIsExact) {
   ASSERT_EQ(back.serving.size(), 1u);
   EXPECT_EQ(back.serving[0].cycles_per_image, 5e8);
   EXPECT_EQ(back.serving[0].instances, 4);
+  ASSERT_EQ(back.dispatch.size(), 1u);
+  const report::DispatchCell& bd = back.dispatch[0];
+  EXPECT_EQ(bd.net, dc.net);
+  EXPECT_EQ(bd.cores, dc.cores);
+  EXPECT_EQ(bd.vlen_bits, dc.vlen_bits);
+  EXPECT_EQ(bd.l2_total_bytes, dc.l2_total_bytes);
+  EXPECT_EQ(bd.instances, dc.instances);
+  EXPECT_EQ(bd.layers, dc.layers);
+  EXPECT_EQ(bd.mispredicted_layers, dc.mispredicted_layers);
+  EXPECT_EQ(bd.batches, dc.batches);
+  EXPECT_EQ(bd.images, dc.images);
+  EXPECT_EQ(bd.explorations, dc.explorations);
+  EXPECT_EQ(bd.learned_conv_cycles, dc.learned_conv_cycles);
+  EXPECT_EQ(bd.oracle_conv_cycles, dc.oracle_conv_cycles);
+  EXPECT_EQ(bd.selector_cycles, dc.selector_cycles);
+  EXPECT_EQ(bd.oracle_gap, dc.oracle_gap);
   EXPECT_EQ(back.total_cycles(), rep.total_cycles());
+  EXPECT_NE(rep.to_json().find("\"dispatch_cells\": 1"), std::string::npos);
+}
+
+TEST(ReportCollector, RecordDispatchKeyedDedup) {
+  report::Collector c;
+  report::DispatchCell dc;
+  dc.net = "vgg16";
+  dc.cores = 2;
+  dc.vlen_bits = 512;
+  dc.l2_total_bytes = 4u << 20;
+  dc.instances = 1;
+  dc.oracle_gap = 0.5;
+  c.record_dispatch(dc);
+  dc.oracle_gap = 0.25;  // same key: later record wins
+  c.record_dispatch(dc);
+  dc.instances = 2;  // different key: second cell
+  dc.oracle_gap = 0.125;
+  c.record_dispatch(dc);
+  const RunReport snap = c.snapshot("t", 0.0);
+  ASSERT_EQ(snap.dispatch.size(), 2u);
+  EXPECT_EQ(snap.dispatch[0].oracle_gap, 0.25);
+  EXPECT_EQ(snap.dispatch[1].oracle_gap, 0.125);
 }
 
 TEST(ReportJson, RejectsWrongSchema) {

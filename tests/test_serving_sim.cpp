@@ -46,6 +46,38 @@ TEST(NearestRank, RejectsBadInput) {
   EXPECT_THROW(nearest_rank({1.0}, 0.0), std::invalid_argument);
   EXPECT_THROW(nearest_rank({1.0}, 1.1), std::invalid_argument);
   EXPECT_THROW(nearest_rank({1.0}, -0.5), std::invalid_argument);
+  EXPECT_THROW(nearest_rank_index(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(nearest_rank_index(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(nearest_rank_index(10, 1.5), std::invalid_argument);
+}
+
+TEST(NearestRank, IndexMatchesHandComputedRanks) {
+  // Same ranks as the ten-sample test above, as 0-based indices.
+  EXPECT_EQ(nearest_rank_index(10, 0.05), 0u);
+  EXPECT_EQ(nearest_rank_index(10, 0.10), 0u);
+  EXPECT_EQ(nearest_rank_index(10, 0.25), 2u);
+  EXPECT_EQ(nearest_rank_index(10, 0.50), 4u);
+  EXPECT_EQ(nearest_rank_index(10, 0.51), 5u);
+  EXPECT_EQ(nearest_rank_index(10, 1.0), 9u);
+  EXPECT_EQ(nearest_rank_index(1, 1.0), 0u);
+  EXPECT_EQ(nearest_rank_index(1, 0.001), 0u);
+}
+
+TEST(NearestRank, LargeSampleBoundariesAreExact) {
+  // q * n that is an integer in exact arithmetic can land a hair above it in
+  // floating point (0.95 * 1e8 rounds to 95000000.00000001...). The old
+  // absolute 1e-9 snap-guard was smaller than that representation error, so
+  // the rank came out one too high at large n. The relative guard must not.
+  EXPECT_EQ(nearest_rank_index(100000000, 0.95), 94999999u);
+  EXPECT_EQ(nearest_rank_index(100000000, 0.05), 4999999u);
+  EXPECT_EQ(nearest_rank_index(1000000000, 0.999), 998999999u);
+  EXPECT_EQ(nearest_rank_index(std::size_t{1} << 30, 0.5),
+            (std::size_t{1} << 29) - 1);
+  // ...and must not snap a genuinely-above-the-boundary q downwards.
+  EXPECT_EQ(nearest_rank_index(10, 0.5000001), 5u);
+  EXPECT_EQ(nearest_rank_index(100000000, 0.95000001), 95000000u);
+  // p999 of the planner's typical 2000-request sample.
+  EXPECT_EQ(nearest_rank_index(2000, 0.999), 1997u);
 }
 
 // ---------------------------------------------------- arrivals -------------
@@ -100,6 +132,30 @@ TEST(Arrivals, ClosedLoopWaitsForCompletions) {
   EXPECT_EQ(*a.next_arrival(), 800.0);
   EXPECT_TRUE(a.exhausted());  // 4 issued
   a.on_completion(900.0);      // ignored: total reached
+  EXPECT_FALSE(a.next_arrival().has_value());
+}
+
+TEST(Arrivals, ClosedLoopHeapOrdersOutOfOrderAndTiedWakes) {
+  // Completions reported out of order, including two at the same instant: the
+  // wake heap must hand arrivals back in nondecreasing time, with the tied
+  // pair adjacent — the event loop's determinism leans on this ordering.
+  ClosedLoopArrivals a(3, 100.0, 9);
+  EXPECT_EQ(*a.next_arrival(), 0.0);
+  EXPECT_EQ(*a.next_arrival(), 0.0);
+  EXPECT_EQ(*a.next_arrival(), 0.0);
+  a.on_completion(500.0);  // wakes at 600
+  a.on_completion(200.0);  // wakes at 300
+  a.on_completion(200.0);  // wakes at 300 (identical)
+  EXPECT_EQ(*a.next_arrival(), 300.0);
+  EXPECT_EQ(*a.next_arrival(), 300.0);
+  EXPECT_EQ(*a.next_arrival(), 600.0);
+  a.on_completion(700.0);
+  a.on_completion(700.0);
+  a.on_completion(650.0);
+  EXPECT_EQ(*a.next_arrival(), 750.0);
+  EXPECT_EQ(*a.next_arrival(), 800.0);
+  EXPECT_EQ(*a.next_arrival(), 800.0);
+  EXPECT_TRUE(a.exhausted());  // 9 issued
   EXPECT_FALSE(a.next_arrival().has_value());
 }
 
@@ -248,6 +304,37 @@ TEST(RequestSim, StatsJsonIsByteStableAcrossRuns) {
   EXPECT_NE(a.find("\"p999\""), std::string::npos);
 }
 
+TEST(RequestSim, ServiceModelOverrideMatchesFixedCost) {
+  // A FixedServiceModel wrapping the same coefficients must reproduce the
+  // plain cost-model run byte for byte; with cfg.service set, the fixed-cost
+  // fields are ignored (the model owns validation).
+  TraceArrivals a1({0.0, 10.0, 20.0});
+  AdaptiveBatchPolicy p1(8, 100.0);
+  const ServingStats direct =
+      simulate_requests(config(1, 50.0, 10.0), a1, p1);
+
+  FixedServiceModel model(BatchCostModel{50.0, 10.0});
+  RequestSimConfig c = config(1, 0.0, 0.0);  // would throw without a service
+  c.service = &model;
+  TraceArrivals a2({0.0, 10.0, 20.0});
+  AdaptiveBatchPolicy p2(8, 100.0);
+  EXPECT_EQ(simulate_requests(c, a2, p2).to_json(), direct.to_json());
+}
+
+TEST(RequestSim, RejectsNonPositiveServiceModelOutput) {
+  // The loop refuses to advance on a model that emits a non-positive or
+  // non-finite service time — it would stall or corrupt simulated time.
+  class BrokenModel final : public ServiceModel {
+   public:
+    double service_cycles(int) override { return 0.0; }
+  } broken;
+  RequestSimConfig c = config(1, 50.0, 10.0);
+  c.service = &broken;
+  TraceArrivals arrivals({0.0});
+  NoBatchPolicy policy;
+  EXPECT_THROW(simulate_requests(c, arrivals, policy), std::logic_error);
+}
+
 // ------------------------------------------------ capacity planner ---------
 
 class CapacityTest : public ::testing::Test {
@@ -286,6 +373,23 @@ TEST_F(CapacityTest, CostModelInvariants) {
   EXPECT_EQ(m.service_cycles(1), m.first_image_cycles);
   EXPECT_EQ(m.service_cycles(3),
             m.first_image_cycles + 2.0 * m.marginal_image_cycles);
+}
+
+TEST_F(CapacityTest, CostModelRejectsNonPositiveBandwidth) {
+  // mem_bytes_per_cycle <= 0 (or NaN) used to divide through silently and
+  // poison every downstream service time with inf/NaN cycles.
+  ResultsDb db((dir_ / "cache.csv").string());
+  SweepDriver driver(&db);
+  const Network net = tiny_net();
+  EXPECT_THROW(
+      batch_cost_model(driver, net, 512, 1u << 20, std::nullopt, 0.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      batch_cost_model(driver, net, 512, 1u << 20, std::nullopt, -6.4),
+      std::invalid_argument);
+  EXPECT_THROW(batch_cost_model(driver, net, 512, 1u << 20, std::nullopt,
+                                std::nan("")),
+               std::invalid_argument);
 }
 
 TEST_F(CapacityTest, GridIsByteIdenticalAcrossPoolSizes) {

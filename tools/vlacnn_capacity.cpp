@@ -19,6 +19,15 @@
 //   --flush-ms F              adaptive flush timeout, ms (default 1)
 //   --queue N                 queue bound, 0 = unbounded (default 0)
 //   --area-budget F           max chip area mm2, 0 = unbounded (default 0)
+//   --dispatch MODE           per-layer algorithm selection: oracle (default,
+//                             per-layer-optimal sweep rows), learned (train
+//                             the paper's random forest on this net and run
+//                             it in the request loop with its inference cost
+//                             charged), or fixed:<algo> (one algorithm
+//                             everywhere, gemm6 fallback)
+//   --dispatch-cycles N       learned mode: selector cycles charged per image
+//                             per layer (default from bench_dispatch_overhead
+//                             calibration; env override VLACNN_DISPATCH_CYCLES)
 //   --json FILE               also write the full candidate list as JSON;
 //                             byte-stable across runs and VLACNN_THREADS
 //
@@ -28,14 +37,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "dispatch/learned_dispatcher.h"
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
 #include "net/models.h"
+#include "report/collector.h"
 #include "report/json.h"
 #include "serving/request_sim.h"
 #include "sweep/results_db.h"
+#include "sweep/sweep.h"
 
 using namespace vlacnn;
 using namespace vlacnn::serving;
@@ -48,7 +64,8 @@ int usage(const char* argv0) {
                "          [--attainment F] [--requests N] [--seed N]\n"
                "          [--policy nobatch|maxbatch|adaptive] [--max-batch N]\n"
                "          [--flush-ms F] [--queue N] [--area-budget F]\n"
-               "          [--json FILE]\n",
+               "          [--dispatch oracle|learned|fixed:<algo>]\n"
+               "          [--dispatch-cycles N] [--json FILE]\n",
                argv0);
   return 2;
 }
@@ -103,6 +120,8 @@ int main(int argc, char** argv) {
   q.policy = {BatchPolicySpec::Kind::kAdaptive, 8, 2e6};  // 1 ms at 2 GHz
   std::string policy_name = "adaptive";
   double flush_ms = 1.0;
+  std::string dispatch_mode = "oracle";
+  double dispatch_cycles = 0;  // 0 = default_dispatch_cycles()
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -135,6 +154,10 @@ int main(int argc, char** argv) {
         q.queue_capacity = std::strtoull(next(), nullptr, 10);
       } else if (flag == "--area-budget") {
         q.area_budget_mm2 = std::atof(next());
+      } else if (flag == "--dispatch") {
+        dispatch_mode = next();
+      } else if (flag == "--dispatch-cycles") {
+        dispatch_cycles = suffixed("--dispatch-cycles", next(), "");
       } else if (flag == "--json") {
         json_path = next();
       } else {
@@ -163,15 +186,59 @@ int main(int argc, char** argv) {
                                "' (vgg16 or yolo20)");
     }();
 
+    // When VLACNN_REPORT is set, write <dir>/capacity_plan_<net>.report.json
+    // at exit — with --dispatch learned it carries the per-point DispatchCells
+    // (oracle gap, explorations) that vlacnn-report summarize tabulates.
+    report::arm_exit_report("capacity plan " + net.name());
+
     ResultsDb db(default_results_path());
     SweepDriver driver(&db);
     CapacityPlanner planner(&driver);
 
     std::printf("capacity plan: %s, %.0f req/s Poisson, %.0f ms SLO at "
-                "p%.4g, policy %s\n",
+                "p%.4g, policy %s, dispatch %s\n",
                 net.name().c_str(), q.load_rps, q.slo_ms,
-                q.attainment_target * 100.0, policy_name.c_str());
-    const auto candidates = planner.evaluate_grid(net, q, std::nullopt);
+                q.attainment_target * 100.0, policy_name.c_str(),
+                dispatch_mode.c_str());
+
+    // Resolved (flag, then env knob, then calibrated default) only on the
+    // learned path; 0 in the JSON marks the selector as not in the loop.
+    double effective_dispatch_cycles = 0;
+    const auto candidates = [&] {
+      if (dispatch_mode == "oracle") {
+        return planner.evaluate_grid(net, q, std::nullopt);
+      }
+      if (dispatch_mode.rfind("fixed:", 0) == 0) {
+        return planner.evaluate_grid(
+            net, q, algo_from_string(dispatch_mode.substr(6)));
+      }
+      if (dispatch_mode == "learned") {
+        dispatch::DispatchConfig dc;
+        dc.dispatch_cycles_per_layer =
+            dispatch_cycles > 0 ? dispatch_cycles
+                                : dispatch::default_dispatch_cycles();
+        effective_dispatch_cycles = dc.dispatch_cycles_per_layer;
+        // Train the paper's selector on this network over the Paper II
+        // hardware grid — the same sweep keys the figures use, so a warm
+        // cache answers every label without new simulation.
+        const Dataset ds = build_selection_dataset(
+            driver, {&net}, paper2_vlens(), paper2_l2_sizes());
+        std::vector<std::size_t> all(ds.size());
+        for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+        RandomForest forest;
+        forest.fit(ds, all, ForestParams{});
+        auto flat = std::make_shared<const dispatch::FlatForest>(
+            forest, ds.num_classes());
+        std::printf("learned dispatch: %zu-sample forest compiled to %zu "
+                    "nodes, %.4g cycles/layer selector charge\n",
+                    ds.size(), flat->node_count(),
+                    dc.dispatch_cycles_per_layer);
+        return planner.evaluate_grid(
+            net, q, dispatch::learned_service_factory(flat, &driver, net, dc));
+      }
+      throw std::runtime_error("unknown --dispatch '" + dispatch_mode +
+                               "' (oracle, learned, or fixed:<algo>)");
+    }();
     std::size_t feasible = 0;
     for (const auto& c : candidates) feasible += c.meets_slo ? 1 : 0;
     std::printf("%zu/%zu grid configurations meet the SLO%s\n", feasible,
@@ -217,6 +284,9 @@ int main(int argc, char** argv) {
       out += ", \"flush_ms\": " + json_number(flush_ms);
       out += ", \"queue_capacity\": " + std::to_string(q.queue_capacity);
       out += ", \"area_budget_mm2\": " + json_number(q.area_budget_mm2);
+      out += ", \"dispatch\": " + json_quote(dispatch_mode);
+      out += ", \"dispatch_cycles_per_layer\": " +
+             json_number(effective_dispatch_cycles);
       out += "},\n  \"candidates\": [\n";
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         out += "    " + candidate_json(candidates[i]);
