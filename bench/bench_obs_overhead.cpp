@@ -1,26 +1,39 @@
-// Proves the observability layer's "near-zero cost when off" claim: times the
-// same fixed simulation workload through conv_simulate (instrumented, all obs
-// knobs off) and conv_simulate_no_obs (the uninstrumented baseline) in
-// alternating repetitions, and fails (exit 1) if the disabled-path overhead
-// exceeds the 2% budget *by more than the measurement's own noise floor*: the
-// median gap must also exceed the baseline side's min-to-max spread, so a
-// quiet-machine run can't fail (or pass) on scheduler jitter alone. Both
-// sides report min/median/max so the spread is visible in the output and in
-// BENCH_obs.json. A second, informational pass repeats the measurement with
-// metrics + tracing forced on to show what the enabled path costs.
+// Proves the observability layer's "near-zero cost when off" claim on both
+// instrumented hot loops:
+//
+//  1. conv simulation: conv_simulate (instrumented, all obs knobs off) vs
+//     conv_simulate_no_obs (the uninstrumented baseline).
+//  2. serving event loop: simulate_requests (instrumented: metrics, trace
+//     spans, timeline hooks — all off) vs simulate_requests_no_obs.
+//
+// Each side runs in alternating repetitions, and a section fails (exit 1) if
+// the disabled-path overhead exceeds the 2% budget *by more than the
+// measurement's own noise floor*: the median gap must also exceed the
+// baseline side's min-to-max spread, so a quiet-machine run can't fail (or
+// pass) on scheduler jitter alone. Both sides report min/median/max so the
+// spread is visible in the output and in BENCH_obs.json. Informational
+// passes repeat each measurement with the obs paths forced on (metrics +
+// tracing for conv; a live TimelineRecorder for serving) to show what the
+// enabled path costs.
 //
 // Run from the build tree: ./bench_obs_overhead  (no arguments; ignores
-// VLACNN_METRICS/VLACNN_TRACE so a CI environment can't skew the verdict).
+// VLACNN_METRICS/VLACNN_TRACE/VLACNN_TIMELINE so a CI environment can't skew
+// the verdict).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <string_view>
 #include <vector>
 
 #include "algos/registry.h"
 #include "net/models.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
+#include "serving/arrivals.h"
+#include "serving/batching.h"
+#include "serving/request_sim.h"
 
 namespace vlacnn {
 namespace {
@@ -92,23 +105,81 @@ void print_spread(const char* label, const Spread& s, const char* suffix) {
               s.med, s.max, suffix);
 }
 
+// -- serving event loop -------------------------------------------------------
+
+/// Poisson traffic at ~80% utilization of 4 adaptively-batched instances,
+/// with a queue bound tight enough that bursts drop and an SLO tight enough
+/// that some requests miss — every hook in the loop (arrival, drop, dispatch,
+/// completion, batch-done) fires on a realistic mix.
+constexpr std::uint64_t kServeRequests = 1'500'000;
+
+serving::ServingStats serve_once_impl(bool instrumented,
+                                      obs::TimelineRecorder* rec) {
+  serving::RequestSimConfig rc;
+  rc.instances = 4;
+  rc.cost = {50000, 9000};
+  rc.queue_capacity = 64;
+  rc.slo_cycles = 200000;
+  rc.timeline = rec;
+  serving::PoissonArrivals arrivals(4500.0, kServeRequests, 7);
+  serving::AdaptiveBatchPolicy policy(8, 40000);
+  return instrumented ? serving::simulate_requests(rc, arrivals, policy)
+                      : serving::simulate_requests_no_obs(rc, arrivals, policy);
+}
+
+double serve_once(bool instrumented, bool with_timeline, double* sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (with_timeline) {
+    obs::TimelineConfig tcfg;
+    tcfg.interval_cycles = 1e6;
+    tcfg.slo_cycles = 200000;
+    tcfg.instances = 4;
+    obs::TimelineRecorder rec(tcfg);
+    *sink += serve_once_impl(instrumented, &rec).mean_latency;
+    *sink += static_cast<double>(rec.snapshots().size());
+  } else {
+    *sink += serve_once_impl(instrumented, nullptr).mean_latency;
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Measurement measure_serving(int reps, bool with_timeline, double* sink) {
+  serve_once(false, false, sink);  // warm-up, one untimed pass each
+  serve_once(true, with_timeline, sink);
+  std::vector<double> base_ms, obs_ms;
+  for (int r = 0; r < reps; ++r) {
+    base_ms.push_back(serve_once(false, false, sink));
+    obs_ms.push_back(serve_once(true, with_timeline, sink));
+  }
+  return {spread(base_ms), spread(obs_ms)};
+}
+
 }  // namespace
 }  // namespace vlacnn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vlacnn;
 
+  // --quick (CI): fewer reps and no informational enabled-path passes. The
+  // verdict logic is identical — the noise floor scales with the shorter run.
+  const bool quick =
+      argc > 1 && std::string_view(argv[1]) == std::string_view("--quick");
+
   std::printf("\n================================================================\n");
-  std::printf("bench_obs_overhead: cost of the vlacnn::obs layer\n");
+  std::printf("bench_obs_overhead: cost of the vlacnn::obs layer%s\n",
+              quick ? " (--quick)" : "");
   std::printf("================================================================\n");
 
   // The verdict must reflect the *disabled* path regardless of environment.
   obs::set_metrics_mode(obs::ReportMode::kOff);
+  obs::set_timeline_path("");
 
   const std::vector<Point> pts = workload();
   const SimConfig config = make_sim_config(512, 1u << 20);
-  constexpr int kReps = 15;      // gated measurement
-  constexpr int kInfoReps = 7;   // informational enabled-path pass
+  const int kReps = quick ? 5 : 15;      // gated measurement
+  const int kInfoReps = quick ? 0 : 7;   // informational enabled-path pass
   std::printf("workload: %zu (layer, algo) points, VGG-16 @ 32x32, "
               "VLEN=512, L2=1MB, %d reps each side\n\n",
               pts.size(), kReps);
@@ -125,27 +196,62 @@ int main() {
               gap_ms, noise_ms);
 
   // Informational: the same workload with metrics + tracing on.
-  const auto trace_path =
-      std::filesystem::temp_directory_path() / "bench_obs_overhead.trace.json";
-  obs::set_metrics_mode(obs::ReportMode::kText);
-  obs::Tracer::global().open(trace_path.string());
-  const Measurement on = measure(pts, config, kInfoReps);
-  obs::Tracer::global().close();
-  obs::set_metrics_mode(obs::ReportMode::kOff);
-  std::filesystem::remove(trace_path);
-  std::snprintf(tail, sizeof tail, "   overhead %+.2f%%  (informational)",
-                (on.obs.med / on.base.med - 1.0) * 100.0);
-  print_spread("obs enabled (m+t)", on.obs, tail);
+  if (kInfoReps > 0) {
+    const auto trace_path = std::filesystem::temp_directory_path() /
+                            "bench_obs_overhead.trace.json";
+    obs::set_metrics_mode(obs::ReportMode::kText);
+    obs::Tracer::global().open(trace_path.string());
+    const Measurement on = measure(pts, config, kInfoReps);
+    obs::Tracer::global().close();
+    obs::set_metrics_mode(obs::ReportMode::kOff);
+    std::filesystem::remove(trace_path);
+    std::snprintf(tail, sizeof tail, "   overhead %+.2f%%  (informational)",
+                  (on.obs.med / on.base.med - 1.0) * 100.0);
+    print_spread("obs enabled (m+t)", on.obs, tail);
+  }
 
   // Two-condition verdict: the budget can only fail when the median gap is
   // both over 2% and larger than what the baseline side drifts on its own —
   // sub-noise percentages (like the −0.29% a previous baseline recorded) are
   // measurement artifacts either way.
-  const bool over_budget = off_pct >= 2.0;
-  const bool above_noise = gap_ms > noise_ms;
-  const bool pass = !(over_budget && above_noise);
-  std::printf("\ndisabled-path budget: < 2%% (gap must also exceed the noise "
-              "floor)  ->  %s\n",
-              pass ? "PASS" : "FAIL");
+  const bool conv_pass = !(off_pct >= 2.0 && gap_ms > noise_ms);
+  std::printf("\nconv disabled-path budget: < 2%% (gap must also exceed the "
+              "noise floor)  ->  %s\n",
+              conv_pass ? "PASS" : "FAIL");
+
+  // -- serving event loop -----------------------------------------------------
+  std::printf("\nserving loop: %llu Poisson requests, 4 instances, "
+              "adaptive(8) batching, %d reps each side\n\n",
+              static_cast<unsigned long long>(kServeRequests), kReps);
+  double sink = 0;
+  const Measurement srv = measure_serving(kReps, /*with_timeline=*/false,
+                                          &sink);
+  const double srv_pct = (srv.obs.med / srv.base.med - 1.0) * 100.0;
+  const double srv_gap_ms = srv.obs.med - srv.base.med;
+  const double srv_noise_ms = srv.base.max - srv.base.min;
+  print_spread("no-obs loop", srv.base, "");
+  std::snprintf(tail, sizeof tail, "   overhead %+.2f%%", srv_pct);
+  print_spread("obs loop disabled", srv.obs, tail);
+  std::printf("median gap %+.2f ms vs baseline spread (noise floor) %.2f ms\n",
+              srv_gap_ms, srv_noise_ms);
+
+  // Informational: the same loop feeding a live TimelineRecorder (1e6-cycle
+  // snapshots, SLO burn tracking) — what VLACNN_TIMELINE actually costs.
+  if (kInfoReps > 0) {
+    const Measurement srv_on =
+        measure_serving(kInfoReps, /*with_timeline=*/true, &sink);
+    std::snprintf(tail, sizeof tail, "   overhead %+.2f%%  (informational)",
+                  (srv_on.obs.med / srv_on.base.med - 1.0) * 100.0);
+    print_spread("timeline enabled", srv_on.obs, tail);
+  }
+  if (sink == 54321.0) std::printf("(unreachable)\n");  // defeat DCE
+
+  const bool srv_pass = !(srv_pct >= 2.0 && srv_gap_ms > srv_noise_ms);
+  std::printf("\nserving disabled-path budget: < 2%% (gap must also exceed "
+              "the noise floor)  ->  %s\n",
+              srv_pass ? "PASS" : "FAIL");
+
+  const bool pass = conv_pass && srv_pass;
+  std::printf("\noverall: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

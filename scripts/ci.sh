@@ -63,6 +63,28 @@ VLACNN_THREADS=8 ./build/tools/vlacnn-capacity --net vgg16 --load 20rps \
   --json "$CAP_DIR/learned-t8.json" >/dev/null
 cmp "$CAP_DIR/learned-t1.json" "$CAP_DIR/learned-t8.json"
 echo "learned-dispatch capacity plan byte-identical at VLACNN_THREADS=1 and 8"
+
+echo "== timeline: JSONL determinism across thread counts ===================="
+# Same planner run with VLACNN_TIMELINE on: the sink writes blocks in sorted
+# label order, so the JSONL must be byte-identical too (DESIGN.md §12). The
+# interval is pinned coarse so 160 grid points stay a few MB of output.
+VLACNN_THREADS=1 VLACNN_TIMELINE_INTERVAL=1e10 ./build/tools/vlacnn-capacity \
+  --net vgg16 --load 20rps --slo 4000ms --requests 500 \
+  --timeline "$CAP_DIR/tl-t1.jsonl" >/dev/null
+VLACNN_THREADS=8 VLACNN_TIMELINE_INTERVAL=1e10 ./build/tools/vlacnn-capacity \
+  --net vgg16 --load 20rps --slo 4000ms --requests 500 \
+  --timeline "$CAP_DIR/tl-t8.jsonl" >/dev/null
+cmp "$CAP_DIR/tl-t1.jsonl" "$CAP_DIR/tl-t8.jsonl"
+./build/tools/vlacnn-report timeline "$CAP_DIR/tl-t1.jsonl" --snapshots 2 \
+  >/dev/null
+echo "timeline JSONL byte-identical at VLACNN_THREADS=1 and 8"
+
+echo "== obs: disabled-path overhead budget (<2% or sub-noise) ==============="
+# bench_obs_overhead self-gates both hot loops (conv inner loop + serving
+# event loop): exit 1 when the no-obs/disabled median gap exceeds 2% AND the
+# baseline's own min-max spread. --quick trims reps and skips the
+# informational enabled-path passes; BENCH_obs.json records a full run.
+./build/bench/bench_obs_overhead --quick
 # bench_dispatch_overhead self-gates: exit 1 if the FlatForest lowering
 # disagrees with RandomForest::predict anywhere on the selection dataset, or
 # if the measured selector cost escapes the committed default

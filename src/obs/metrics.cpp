@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/json_util.h"
 #include "obs/trace.h"
 
 namespace vlacnn::obs {
@@ -54,28 +55,6 @@ std::size_t shard_index() {
   static thread_local const std::size_t idx =
       std::hash<std::thread::id>()(std::this_thread::get_id());
   return idx;
-}
-
-void json_append_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
 }
 
 }  // namespace
@@ -300,14 +279,8 @@ std::string Registry::report_json() const {
     if (!first) out += ',';
     first = false;
     json_append_escaped(out, name);
-    const double v = g->value();
-    if (std::isfinite(v)) {
-      char num[64];
-      std::snprintf(num, sizeof(num), "%.17g", v);
-      out += ':' + std::string(num);
-    } else {
-      out += ":null";  // inf/NaN are not valid JSON literals
-    }
+    out += ':';
+    json_append_number(out, g->value());
   }
   out += "},\"histograms\":{";
   first = true;

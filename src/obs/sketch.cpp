@@ -1,0 +1,104 @@
+#include "obs/sketch.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlacnn::obs {
+
+QuantileSketch::QuantileSketch(double relative_error) : rel_err_(relative_error) {
+  if (!(relative_error > 0) || !(relative_error < 1)) {
+    throw std::invalid_argument(
+        "QuantileSketch: relative_error must be in (0, 1)");
+  }
+  gamma_ = (1.0 + relative_error) / (1.0 - relative_error);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+int QuantileSketch::bucket_index(double v) const {
+  // Callers clamp negatives/zero to the zero bucket before asking.
+  return static_cast<int>(std::ceil(std::log(v) * inv_log_gamma_));
+}
+
+double QuantileSketch::bucket_upper(int index) const {
+  return std::pow(gamma_, static_cast<double>(index));
+}
+
+void QuantileSketch::observe(double v) {
+  if (!(v > 0)) {  // 0, negatives, and NaN all land in the exact-zero bucket
+    ++zero_count_;
+  } else {
+    ++buckets_[bucket_index(v)];
+  }
+  ++count_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (!(q > 0)) q = 1e-9;
+  if (q > 1) q = 1;
+  // Nearest-rank: the ceil(q * n)-th smallest observation, matching the
+  // simulator's exact-percentile convention (request_sim.h).
+  const double scaled = q * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(scaled * (1.0 - 1e-12)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  if (rank <= zero_count_) return 0;
+  std::uint64_t seen = zero_count_;
+  for (const auto& [idx, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) return bucket_upper(idx);
+  }
+  return bucket_upper(buckets_.rbegin()->first);  // unreachable: counts agree
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.rel_err_ != rel_err_) {
+    throw std::invalid_argument(
+        "QuantileSketch::merge: mismatched relative_error");
+  }
+  zero_count_ += other.zero_count_;
+  count_ += other.count_;
+  for (const auto& [idx, n] : other.buckets_) buckets_[idx] += n;
+}
+
+void QuantileSketch::clear() {
+  zero_count_ = 0;
+  count_ = 0;
+  buckets_.clear();
+}
+
+SlidingQuantile::SlidingQuantile(std::size_t window_intervals,
+                                 double relative_error)
+    : window_(window_intervals), rel_err_(relative_error) {
+  if (window_ == 0) {
+    throw std::invalid_argument("SlidingQuantile: window must be >= 1");
+  }
+  intervals_.emplace_back(rel_err_);
+}
+
+void SlidingQuantile::observe(double v) { intervals_.back().observe(v); }
+
+void SlidingQuantile::roll() {
+  intervals_.emplace_back(rel_err_);
+  // The deque holds the open interval plus up to `window_` closed ones.
+  while (intervals_.size() > window_ + 1) intervals_.pop_front();
+}
+
+double SlidingQuantile::quantile(double q) const {
+  QuantileSketch merged(rel_err_);
+  for (const QuantileSketch& s : intervals_) merged.merge(s);
+  return merged.quantile(q);
+}
+
+std::uint64_t SlidingQuantile::count() const {
+  std::uint64_t n = 0;
+  for (const QuantileSketch& s : intervals_) n += s.count();
+  return n;
+}
+
+void SlidingQuantile::clear() {
+  intervals_.clear();
+  intervals_.emplace_back(rel_err_);
+}
+
+}  // namespace vlacnn::obs

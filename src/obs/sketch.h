@@ -1,0 +1,90 @@
+// Deterministic streaming quantile sketches for the timeline recorder
+// (obs/timeline.h): a DDSketch-style log-bucket sketch over nonnegative
+// doubles, plus a sliding window of per-interval sketches for rolling
+// percentiles.
+//
+// Everything here is exactly reproducible: bucket boundaries are a pure
+// function of (value, relative_error), counts are integers, and quantile
+// queries walk buckets in sorted order — two runs that observe the same
+// values in any order produce bit-identical answers. No randomness, no wall
+// clock, no platform-dependent state (libm's log/pow are deterministic for a
+// given build, which is the repo's reproducibility scope).
+//
+// Units follow the serving simulator: values are cycles. quantile() returns
+// an *upper bound* on the true quantile — the closing boundary of the bucket
+// holding the nearest-rank sample — within the configured relative error,
+// mirroring the contract of obs::Histogram::quantile_bound.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+namespace vlacnn::obs {
+
+/// Log-bucket quantile sketch: value v > 0 lands in bucket
+/// ceil(log(v) / log(gamma)) with gamma = (1 + e) / (1 - e), so every bucket's
+/// bounds are within relative error e of any value it holds. Zero (and
+/// negative inputs, which are clamped) get a dedicated exact bucket.
+/// Memory is O(distinct buckets) — tens of entries for latency distributions
+/// spanning several decades at the default 1% error.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(double relative_error = 0.01);
+
+  void observe(double v);
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double relative_error() const { return rel_err_; }
+
+  /// Nearest-rank upper bound: the closing boundary of the bucket holding the
+  /// ceil(q * count)-th smallest observation (q in (0, 1], clamped). 0 when
+  /// empty or when the selected observation is the exact-zero bucket.
+  double quantile(double q) const;
+
+  /// Fold another sketch (same relative_error) into this one.
+  void merge(const QuantileSketch& other);
+
+  void clear();
+
+  /// The bucket index observe(v) uses, and a bucket's closing boundary
+  /// gamma^index — exposed so tests can hand-compute expected quantiles.
+  int bucket_index(double v) const;
+  double bucket_upper(int index) const;
+
+ private:
+  double rel_err_;
+  double gamma_;
+  double inv_log_gamma_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t count_ = 0;
+  std::map<int, std::uint64_t> buckets_;
+};
+
+/// Rolling quantiles over the last `window_intervals` timeline intervals: the
+/// recorder observes into the current interval's sketch and calls roll() at
+/// each interval boundary; quantile() answers over the merged window.
+class SlidingQuantile {
+ public:
+  SlidingQuantile(std::size_t window_intervals, double relative_error = 0.01);
+
+  void observe(double v);
+
+  /// Close the current interval and start a new one; the oldest interval
+  /// falls out of the window once it holds window_intervals closed intervals.
+  void roll();
+
+  /// Quantile over the window *including* the still-open current interval.
+  double quantile(double q) const;
+  std::uint64_t count() const;
+  std::size_t window_intervals() const { return window_; }
+
+  void clear();
+
+ private:
+  std::size_t window_;
+  double rel_err_;
+  std::deque<QuantileSketch> intervals_;  ///< oldest front, current back
+};
+
+}  // namespace vlacnn::obs

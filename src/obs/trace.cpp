@@ -6,36 +6,11 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/json_util.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace vlacnn::obs {
-
-namespace {
-
-void json_append_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-}  // namespace
 
 Tracer::Tracer(const std::string& path) {
   if (!path.empty()) open(path);

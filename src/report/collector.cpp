@@ -101,6 +101,12 @@ void Collector::record_dispatch(const DispatchCell& cell) {
              cell.instances}] = cell;
 }
 
+void Collector::record_timeline(const TimelineCell& cell) {
+  std::lock_guard<std::mutex> lk(mu_);
+  timeline_[{cell.cores, cell.vlen_bits, cell.l2_total_bytes, cell.instances,
+             cell.policy, cell.arrivals}] = cell;
+}
+
 RunReport Collector::snapshot(const std::string& tool, double wall_ms,
                               const RooflineParams& p) const {
   RunReport r;
@@ -118,6 +124,8 @@ RunReport Collector::snapshot(const std::string& tool, double wall_ms,
   for (const auto& [key, cell] : request_sim_) r.request_sim.push_back(cell);
   r.dispatch.reserve(dispatch_.size());
   for (const auto& [key, cell] : dispatch_) r.dispatch.push_back(cell);
+  r.timeline.reserve(timeline_.size());
+  for (const auto& [key, cell] : timeline_) r.timeline.push_back(cell);
   return r;
 }
 
@@ -127,6 +135,7 @@ void Collector::reset() {
   serving_.clear();
   request_sim_.clear();
   dispatch_.clear();
+  timeline_.clear();
 }
 
 std::size_t Collector::row_count() const {

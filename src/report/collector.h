@@ -52,6 +52,10 @@ class Collector {
   /// concurrent writers for a key carry identical stats).
   void record_dispatch(const DispatchCell& cell);
 
+  /// Record one timeline digest (thread-safe; same key as request_sim — one
+  /// timeline per simulated grid point, last write wins).
+  void record_timeline(const TimelineCell& cell);
+
   /// Assemble everything recorded so far into a report.
   RunReport snapshot(const std::string& tool, double wall_ms,
                      const RooflineParams& p = {}) const;
@@ -73,6 +77,10 @@ class Collector {
   std::map<std::tuple<std::string, int, std::uint32_t, std::uint64_t, int>,
            DispatchCell>
       dispatch_;
+  std::map<std::tuple<int, std::uint32_t, std::uint64_t, int, std::string,
+                      std::string>,
+           TimelineCell>
+      timeline_;
 };
 
 /// Called by bench::banner(): when VLACNN_REPORT is set, remembers the run's

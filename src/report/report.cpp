@@ -235,7 +235,10 @@ std::string RunReport::to_json() const {
     out += ", \"mean_latency\": " + json_number(c.mean_latency);
     out += ",\n     \"utilization\": " + json_number(c.utilization);
     out += ", \"mean_queue\": " + json_number(c.mean_queue);
-    out += ", \"slo_attainment\": " + json_number(c.slo_attainment) + "}";
+    out += ", \"slo_attainment\": " + json_number(c.slo_attainment);
+    out += ",\n     \"mean_queue_wait\": " + json_number(c.mean_queue_wait);
+    out += ", \"mean_formation_wait\": " + json_number(c.mean_formation_wait);
+    out += ", \"mean_service\": " + json_number(c.mean_service) + "}";
   }
   out += request_sim.empty() ? "],\n" : "\n  ],\n";
   out += "  \"dispatch\": [";
@@ -258,10 +261,31 @@ std::string RunReport::to_json() const {
     out += ", \"oracle_gap\": " + json_number(c.oracle_gap) + "}";
   }
   out += dispatch.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"timeline\": [";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const TimelineCell& c = timeline[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"cores\": " + std::to_string(c.cores);
+    out += ", \"vlen_bits\": " + std::to_string(c.vlen_bits);
+    out += ", \"l2_total_bytes\": " + std::to_string(c.l2_total_bytes);
+    out += ", \"instances\": " + std::to_string(c.instances);
+    out += ", \"policy\": " + json_quote(c.policy);
+    out += ", \"arrivals\": " + json_quote(c.arrivals);
+    out += ",\n     \"snapshots\": " + std::to_string(c.snapshots);
+    out += ", \"interval_cycles\": " + json_number(c.interval_cycles);
+    out += ", \"alerts\": " + std::to_string(c.alerts);
+    out += ", \"warmup_cycles\": " + json_number(c.warmup_cycles);
+    out += ",\n     \"steady_p99\": " + json_number(c.steady_p99);
+    out += ", \"max_burn_rate\": " + json_number(c.max_burn_rate);
+    out += ", \"time_in_alert_cycles\": " + json_number(c.time_in_alert_cycles) +
+           "}";
+  }
+  out += timeline.empty() ? "],\n" : "\n  ],\n";
   out += "  \"totals\": {\"entries\": " + std::to_string(entries.size()) +
          ", \"serving_cells\": " + std::to_string(serving.size()) +
          ", \"request_sim_cells\": " + std::to_string(request_sim.size()) +
          ", \"dispatch_cells\": " + std::to_string(dispatch.size()) +
+         ", \"timeline_cells\": " + std::to_string(timeline.size()) +
          ", \"cycles\": " + json_number(total_cycles()) + "}\n";
   out += "}\n";
   return out;
@@ -413,6 +437,17 @@ RunReport report_from_json(const std::string& text) {
       c.utilization = num_at(s, "utilization");
       c.mean_queue = num_at(s, "mean_queue");
       c.slo_attainment = num_at(s, "slo_attainment");
+      // Attribution columns arrived after the section did; old files lack
+      // them and parse back as zeros.
+      if (const Json* f = s.find("mean_queue_wait")) {
+        c.mean_queue_wait = f->num_or(0);
+      }
+      if (const Json* f = s.find("mean_formation_wait")) {
+        c.mean_formation_wait = f->num_or(0);
+      }
+      if (const Json* f = s.find("mean_service")) {
+        c.mean_service = f->num_or(0);
+      }
       r.request_sim.push_back(c);
     }
   }
@@ -437,6 +472,28 @@ RunReport report_from_json(const std::string& text) {
       c.selector_cycles = num_at(s, "selector_cycles");
       c.oracle_gap = num_at(s, "oracle_gap");
       r.dispatch.push_back(c);
+    }
+  }
+
+  // Optional: only timeline-enabled planner runs emit it.
+  if (const Json* tl = doc.find("timeline"); tl != nullptr) {
+    for (const Json& s : tl->array) {
+      TimelineCell c;
+      c.cores = int_at(s, "cores");
+      c.vlen_bits = static_cast<std::uint32_t>(num_at(s, "vlen_bits"));
+      c.l2_total_bytes =
+          static_cast<std::uint64_t>(num_at(s, "l2_total_bytes"));
+      c.instances = int_at(s, "instances");
+      c.policy = str_at(s, "policy");
+      c.arrivals = str_at(s, "arrivals");
+      c.snapshots = static_cast<std::uint64_t>(num_at(s, "snapshots"));
+      c.interval_cycles = num_at(s, "interval_cycles");
+      c.alerts = static_cast<std::uint64_t>(num_at(s, "alerts"));
+      c.warmup_cycles = num_at(s, "warmup_cycles");
+      c.steady_p99 = num_at(s, "steady_p99");
+      c.max_burn_rate = num_at(s, "max_burn_rate");
+      c.time_in_alert_cycles = num_at(s, "time_in_alert_cycles");
+      r.timeline.push_back(c);
     }
   }
   return r;
@@ -573,6 +630,24 @@ std::string summarize(const RunReport& r) {
                     static_cast<double>(c.l2_total_bytes) / (1024.0 * 1024.0),
                     c.instances, c.policy.c_str(), c.p50, c.p99, c.p999,
                     c.utilization, 100.0 * c.slo_attainment);
+      out += line;
+    }
+  }
+  if (!r.timeline.empty()) {
+    std::snprintf(line, sizeof line,
+                  "\n%6s %6s %8s %5s %-16s %6s %12s %10s %8s %6s\n", "cores",
+                  "vlen", "l2MB", "inst", "policy", "snaps", "warmup_cyc",
+                  "p99roll", "maxburn", "alerts");
+    out += line;
+    for (const TimelineCell& c : r.timeline) {
+      std::snprintf(line, sizeof line,
+                    "%6d %6u %8.1f %5d %-16s %6llu %12.4g %10.4g %8.3f %6llu\n",
+                    c.cores, c.vlen_bits,
+                    static_cast<double>(c.l2_total_bytes) / (1024.0 * 1024.0),
+                    c.instances, c.policy.c_str(),
+                    static_cast<unsigned long long>(c.snapshots),
+                    c.warmup_cycles, c.steady_p99, c.max_burn_rate,
+                    static_cast<unsigned long long>(c.alerts));
       out += line;
     }
   }

@@ -82,6 +82,32 @@ struct RequestSimCell {
   double utilization = 0;
   double mean_queue = 0;
   double slo_attainment = 1;
+  /// Mean latency attribution (cycles); optional in the schema — reports
+  /// written before the attribution columns existed parse back as zeros.
+  double mean_queue_wait = 0;
+  double mean_formation_wait = 0;
+  double mean_service = 0;
+};
+
+/// Summary of one grid point's serving timeline (mirrors the analysis in
+/// obs/timeline.h without depending on it — obs sits *below* report in the
+/// link order, but the mirrored struct keeps the schema self-contained).
+/// The full per-interval timeline lives in the VLACNN_TIMELINE JSONL file;
+/// this cell is the per-point digest the planner folds into the run report.
+struct TimelineCell {
+  int cores = 1;
+  std::uint32_t vlen_bits = 512;
+  std::uint64_t l2_total_bytes = 0;
+  int instances = 1;
+  std::string policy;
+  std::string arrivals;
+  std::uint64_t snapshots = 0;       ///< intervals recorded
+  double interval_cycles = 0;        ///< snapshot cadence
+  std::uint64_t alerts = 0;          ///< burn-rate alerts raised
+  double warmup_cycles = 0;          ///< detected warm-up transient length
+  double steady_p99 = 0;             ///< final rolling p99 (cycles)
+  double max_burn_rate = 0;          ///< worst burn rate seen in any window
+  double time_in_alert_cycles = 0;   ///< total cycles spent in alert state
 };
 
 /// One learned-dispatch run's outcome at a grid point (mirrors
@@ -118,6 +144,7 @@ struct RunReport {
   std::vector<ServingCell> serving;
   std::vector<RequestSimCell> request_sim;  ///< request-level serving stats
   std::vector<DispatchCell> dispatch;       ///< learned-dispatch outcomes
+  std::vector<TimelineCell> timeline;       ///< per-point timeline digests
 
   double total_cycles() const;
   std::string to_json() const;

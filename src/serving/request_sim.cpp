@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "report/collector.h"
 #include "report/json.h"
@@ -86,6 +87,21 @@ double nearest_rank(const std::vector<double>& sorted_ascending, double q) {
   return sorted_ascending[nearest_rank_index(sorted_ascending.size(), q)];
 }
 
+std::pair<double, double> exact_split(double total, double head_approx) {
+  if (!(total > 0)) return {0.0, 0.0};
+  double head = head_approx;
+  if (!(head > 0)) head = 0;
+  if (head > total) head = total;
+  // Sterbenz: for x in [total/2, total], total - x is computed exactly. Put
+  // whichever part is the larger one through that subtraction and the pair
+  // reconstitutes total with no rounding at all.
+  if (head >= 0.5 * total) {
+    return {head, total - head};
+  }
+  const double tail = total - head;  // rounded, but lands in [total/2, total]
+  return {total - tail, tail};
+}
+
 double ServingStats::throughput_rps(double clock_hz) const {
   if (!(makespan > 0)) return 0;
   return static_cast<double>(completed) / makespan * clock_hz;
@@ -106,6 +122,9 @@ std::string ServingStats::to_json() const {
   out += ", \"mean_latency\": " + json_number(mean_latency);
   out += ", \"max_latency\": " + json_number(max_latency);
   out += ", \"mean_wait\": " + json_number(mean_wait);
+  out += ", \"mean_queue_wait\": " + json_number(mean_queue_wait);
+  out += ", \"mean_formation_wait\": " + json_number(mean_formation_wait);
+  out += ", \"mean_service\": " + json_number(mean_service);
   out += ", \"makespan\": " + json_number(makespan);
   out += ", \"mean_queue\": " + json_number(mean_queue);
   out += ", \"max_queue\": " + json_number(max_queue);
@@ -116,9 +135,17 @@ std::string ServingStats::to_json() const {
   return out;
 }
 
-ServingStats simulate_requests(const RequestSimConfig& cfg,
-                               ArrivalProcess& arrivals,
-                               BatchingPolicy& policy) {
+namespace {
+
+/// The event loop proper. kObs compiles the observability hooks (metrics,
+/// trace, timeline) in or out via if constexpr — the no-obs twin is the
+/// baseline side of bench_obs_overhead's serving gate, so its hot path must
+/// not even test the knobs. Latency attribution and request_log are product
+/// output and exist in both instantiations.
+template <bool kObs>
+ServingStats run_request_loop(const RequestSimConfig& cfg,
+                              ArrivalProcess& arrivals,
+                              BatchingPolicy& policy) {
   if (cfg.instances < 1) {
     throw std::invalid_argument("simulate_requests: need >= 1 instance");
   }
@@ -140,60 +167,96 @@ ServingStats simulate_requests(const RequestSimConfig& cfg,
                                         : instance > o.instance;
     }
   };
+  // A queued request carries the value of the instance-idle time integral at
+  // its arrival; the delta to dispatch time is its formation wait (time it
+  // waited while capacity sat idle, i.e. the batching policy's choice).
+  struct Queued {
+    double arrival;
+    double idle_at_arrival;
+  };
+  struct Member {
+    double arrival;
+    double formation_wait;  ///< measured at dispatch, clamped to [0, wait]
+  };
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<InFlight>>
       busy;
-  std::vector<std::vector<double>> batch_arrivals(
-      static_cast<std::size_t>(cfg.instances));  // arrival times per instance
+  std::vector<std::vector<Member>> batch_members(
+      static_cast<std::size_t>(cfg.instances));
+  std::vector<double> batch_dispatch(static_cast<std::size_t>(cfg.instances),
+                                     0.0);
   std::set<int> idle;
   for (int i = 0; i < cfg.instances; ++i) idle.insert(i);
 
-  std::deque<double> queue;  // FIFO of arrival timestamps
+  std::deque<Queued> queue;  // FIFO
   ServingStats s;
   s.slo = cfg.slo_cycles;
   std::vector<double> latencies;
   double wait_sum = 0, queue_area = 0, busy_cycles = 0, batch_images = 0;
+  double queue_wait_sum = 0, formation_sum = 0, service_sum = 0;
+  double idle_time = 0;  ///< integral of [some instance idle] over sim time
   double now = 0;
   std::optional<double> pending;
+  if (cfg.request_log != nullptr) cfg.request_log->clear();
 
-  const bool metrics = obs::metrics_enabled();
+  bool metrics = false;
   obs::Histogram* lat_hist = nullptr;
   obs::Counter* completed_ctr = nullptr;
   obs::Counter* dropped_ctr = nullptr;
   obs::Counter* batches_ctr = nullptr;
-  if (metrics) {
-    auto& reg = obs::Registry::global();
-    lat_hist = &reg.histogram("serving.request_latency_cycles");
-    completed_ctr = &reg.counter("serving.requests_completed");
-    dropped_ctr = &reg.counter("serving.requests_dropped");
-    batches_ctr = &reg.counter("serving.batches_dispatched");
+  obs::Tracer* tracer = nullptr;
+  obs::TimelineRecorder* rec = nullptr;
+  std::unique_ptr<obs::TimelineRecorder> owned_rec;
+  if constexpr (kObs) {
+    metrics = obs::metrics_enabled();
+    if (metrics) {
+      auto& reg = obs::Registry::global();
+      lat_hist = &reg.histogram("serving.request_latency_cycles");
+      completed_ctr = &reg.counter("serving.requests_completed");
+      dropped_ctr = &reg.counter("serving.requests_dropped");
+      batches_ctr = &reg.counter("serving.batches_dispatched");
+    }
+    tracer = &obs::Tracer::global();
+    rec = cfg.timeline;
+    if (rec == nullptr && obs::timeline_enabled()) {
+      owned_rec = std::make_unique<obs::TimelineRecorder>(
+          obs::default_timeline_config(cfg.instances, cfg.slo_cycles));
+      rec = owned_rec.get();
+    }
   }
-  obs::Tracer& tracer = obs::Tracer::global();
   std::uint64_t traced_batches = 0;
 
   auto poll = [&] {
     if (!pending.has_value()) pending = arrivals.next_arrival();
   };
   auto advance = [&](double t_new) {
-    queue_area += static_cast<double>(queue.size()) * (t_new - now);
+    const double dt = t_new - now;
+    queue_area += static_cast<double>(queue.size()) * dt;
+    if (!idle.empty()) idle_time += dt;
     now = t_new;
   };
   auto try_dispatch = [&]() -> bool {
     bool dispatched = false;
     while (!queue.empty() && !idle.empty()) {
-      int n = policy.dispatch_size(queue.size(), queue.front(), now);
+      int n = policy.dispatch_size(queue.size(), queue.front().arrival, now);
       if (n <= 0) break;
       if (static_cast<std::size_t>(n) > queue.size()) {
         n = static_cast<int>(queue.size());
       }
       const int inst = *idle.begin();
       idle.erase(idle.begin());
-      auto& members = batch_arrivals[static_cast<std::size_t>(inst)];
+      auto& members = batch_members[static_cast<std::size_t>(inst)];
       members.clear();
       for (int i = 0; i < n; ++i) {
-        wait_sum += now - queue.front();
-        members.push_back(queue.front());
+        const Queued& q = queue.front();
+        const double wait = now - q.arrival;
+        wait_sum += wait;
+        double fw = idle_time - q.idle_at_arrival;
+        if (fw < 0) fw = 0;
+        if (fw > wait) fw = wait;
+        members.push_back({q.arrival, fw});
         queue.pop_front();
       }
+      batch_dispatch[static_cast<std::size_t>(inst)] = now;
       const double service = cfg.service != nullptr
                                  ? cfg.service->service_cycles(n)
                                  : cfg.cost.service_cycles(n);
@@ -207,17 +270,20 @@ ServingStats simulate_requests(const RequestSimConfig& cfg,
       ++s.batches;
       batch_images += n;
       dispatched = true;
-      if (tracer.enabled() && traced_batches < kMaxBatchTraceEvents) {
-        // Trace timestamps are *simulated* time, so the file renders the
-        // serving schedule itself, not the wall clock of the simulator.
-        tracer.emit("serving.batch", now / kTraceCyclesPerUs,
-                    service / kTraceCyclesPerUs,
-                    {{"instance", std::to_string(inst)},
-                     {"batch", std::to_string(n)},
-                     {"service_cycles", std::to_string(service)}});
-        if (++traced_batches == kMaxBatchTraceEvents) {
-          obs::log(obs::LogLevel::kInfo, "serving", "batch_trace_capped",
-                   {{"cap", std::to_string(kMaxBatchTraceEvents)}});
+      if constexpr (kObs) {
+        if (rec != nullptr) rec->on_dispatch(now, n);
+        if (tracer->enabled() && traced_batches < kMaxBatchTraceEvents) {
+          // Trace timestamps are *simulated* time, so the file renders the
+          // serving schedule itself, not the wall clock of the simulator.
+          tracer->emit("serving.batch", now / kTraceCyclesPerUs,
+                       service / kTraceCyclesPerUs,
+                       {{"instance", std::to_string(inst)},
+                        {"batch", std::to_string(n)},
+                        {"service_cycles", std::to_string(service)}});
+          if (++traced_batches == kMaxBatchTraceEvents) {
+            obs::log(obs::LogLevel::kInfo, "serving", "batch_trace_capped",
+                     {{"cap", std::to_string(kMaxBatchTraceEvents)}});
+          }
         }
       }
     }
@@ -230,7 +296,8 @@ ServingStats simulate_requests(const RequestSimConfig& cfg,
     const double ta = pending.has_value() ? *pending : kInf;
     double td = kInf;
     if (!queue.empty() && !idle.empty()) {
-      td = std::max(policy.flush_deadline(queue.size(), queue.front()), now);
+      td = std::max(policy.flush_deadline(queue.size(), queue.front().arrival),
+                    now);
     }
     const double t_next = std::min({tc, ta, td});
     if (t_next == kInf) break;
@@ -242,16 +309,40 @@ ServingStats simulate_requests(const RequestSimConfig& cfg,
     if (tc <= t_next) {
       const InFlight f = busy.top();
       busy.pop();
-      for (double arr : batch_arrivals[static_cast<std::size_t>(f.instance)]) {
-        const double lat = now - arr;
+      const std::size_t fi = static_cast<std::size_t>(f.instance);
+      const double dispatched_at = batch_dispatch[fi];
+      for (const Member& m : batch_members[fi]) {
+        const double lat = now - m.arrival;
         latencies.push_back(lat);
-        if (metrics) {
-          lat_hist->observe(
-              static_cast<std::uint64_t>(std::llround(std::max(lat, 0.0))));
+        // Exact attribution: split latency into wait vs service around the
+        // dispatch timestamp, then the wait into queue vs formation around
+        // the measured formation share. Both splits are exact (exact_split),
+        // so (queue_wait + formation_wait) + service == lat in FP.
+        const auto [wait_c, service_c] =
+            exact_split(lat, dispatched_at - m.arrival);
+        const auto [qw, fw] =
+            exact_split(wait_c, (dispatched_at - m.arrival) - m.formation_wait);
+        queue_wait_sum += qw;
+        formation_sum += fw;
+        service_sum += service_c;
+        const bool within = cfg.slo_cycles <= 0 || lat <= cfg.slo_cycles;
+        if (cfg.request_log != nullptr) {
+          cfg.request_log->push_back(
+              {m.arrival, dispatched_at, now, qw, fw, service_c, within});
+        }
+        if constexpr (kObs) {
+          if (rec != nullptr) rec->on_completion(now, lat, within);
+          if (metrics) {
+            lat_hist->observe(
+                static_cast<std::uint64_t>(std::llround(std::max(lat, 0.0))));
+          }
         }
         arrivals.on_completion(now);
       }
       idle.insert(f.instance);
+      if constexpr (kObs) {
+        if (rec != nullptr) rec->on_batch_done(now);
+      }
       try_dispatch();
       poll();
       continue;
@@ -260,9 +351,15 @@ ServingStats simulate_requests(const RequestSimConfig& cfg,
       ++s.offered;
       if (cfg.queue_capacity > 0 && queue.size() >= cfg.queue_capacity) {
         ++s.dropped;
+        if constexpr (kObs) {
+          if (rec != nullptr) rec->on_drop(now);
+        }
         arrivals.on_completion(now);  // a rejection is still a response
       } else {
-        queue.push_back(ta);
+        queue.push_back({ta, idle_time});
+        if constexpr (kObs) {
+          if (rec != nullptr) rec->on_arrival(now);
+        }
         if (static_cast<double>(queue.size()) > s.max_queue) {
           s.max_queue = static_cast<double>(queue.size());
         }
@@ -291,8 +388,12 @@ ServingStats simulate_requests(const RequestSimConfig& cfg,
   if (!latencies.empty()) {
     double sum = 0;
     for (double l : latencies) sum += l;
-    s.mean_latency = sum / static_cast<double>(latencies.size());
-    s.mean_wait = wait_sum / static_cast<double>(latencies.size());
+    const double n = static_cast<double>(latencies.size());
+    s.mean_latency = sum / n;
+    s.mean_wait = wait_sum / n;
+    s.mean_queue_wait = queue_wait_sum / n;
+    s.mean_formation_wait = formation_sum / n;
+    s.mean_service = service_sum / n;
     std::sort(latencies.begin(), latencies.end());
     s.p50 = nearest_rank(latencies, 0.50);
     s.p95 = nearest_rank(latencies, 0.95);
@@ -313,12 +414,36 @@ ServingStats simulate_requests(const RequestSimConfig& cfg,
     s.slo_attainment =
         static_cast<double>(within) / static_cast<double>(s.offered);
   }
-  if (metrics) {
-    completed_ctr->add(s.completed);
-    dropped_ctr->add(s.dropped);
-    batches_ctr->add(s.batches);
+  if constexpr (kObs) {
+    if (metrics) {
+      completed_ctr->add(s.completed);
+      dropped_ctr->add(s.dropped);
+      batches_ctr->add(s.batches);
+    }
+    if (rec != nullptr) rec->finish(s.makespan);
+    if (owned_rec != nullptr) {
+      obs::TimelineSink& sink = obs::TimelineSink::global();
+      const std::string label = cfg.timeline_label.empty()
+                                    ? sink.next_auto_label()
+                                    : cfg.timeline_label;
+      sink.record(label, owned_rec->to_jsonl());
+    }
   }
   return s;
+}
+
+}  // namespace
+
+ServingStats simulate_requests(const RequestSimConfig& cfg,
+                               ArrivalProcess& arrivals,
+                               BatchingPolicy& policy) {
+  return run_request_loop<true>(cfg, arrivals, policy);
+}
+
+ServingStats simulate_requests_no_obs(const RequestSimConfig& cfg,
+                                      ArrivalProcess& arrivals,
+                                      BatchingPolicy& policy) {
+  return run_request_loop<false>(cfg, arrivals, policy);
 }
 
 CapacityCandidate CapacityPlanner::simulate_point(const Network& net,
@@ -339,10 +464,61 @@ CapacityCandidate CapacityPlanner::simulate_point(const Network& net,
   as.requests = q.requests;
   const auto arrivals = make_arrivals(as, q.seed);
   const auto policy = make_policy(q.policy);
+
+  // The planner owns its timeline recorder so the sink block gets a
+  // grid-point-derived label: the sink's sorted-by-label write is what makes
+  // the JSONL byte-identical across VLACNN_THREADS even though pool workers
+  // finish points in arbitrary order.
+  std::unique_ptr<obs::TimelineRecorder> rec;
+  if (obs::timeline_enabled()) {
+    obs::TimelineConfig tcfg =
+        obs::default_timeline_config(point.instances, rc.slo_cycles);
+    tcfg.attainment_target = q.attainment_target;
+    // Unless the user pinned a cadence, bound the snapshot count per grid
+    // point: a low-rate run's makespan can span tens of billions of cycles,
+    // and the sink buffers every point's block until exit. ~256 snapshots per
+    // point keeps that bounded; the coarsening is a pure function of the
+    // query, so it stays byte-identical across VLACNN_THREADS.
+    if (!obs::timeline_interval_overridden()) {
+      const double expected = q.requests * (q.clock_hz / q.load_rps);
+      tcfg.interval_cycles = std::max(tcfg.interval_cycles, expected / 256.0);
+    }
+    rec = std::make_unique<obs::TimelineRecorder>(tcfg);
+    rc.timeline = rec.get();
+  }
+
   c.stats = simulate_requests(rc, *arrivals, *policy);
   c.meets_slo =
       c.stats.slo_attainment >= q.attainment_target &&
       (q.area_budget_mm2 <= 0 || c.eval.area_mm2 <= q.area_budget_mm2);
+
+  if (rec != nullptr) {
+    char label[160];
+    std::snprintf(label, sizeof label, "cores%d/vlen%u/l2:%llu/inst%d/%s/%s",
+                  point.cores, point.vlen_bits,
+                  static_cast<unsigned long long>(point.l2_total_bytes),
+                  point.instances, policy->name().c_str(), arrivals->name());
+    obs::TimelineSink::global().record(label, rec->to_jsonl());
+    if (report::enabled()) {
+      const obs::TimelineAnalysis ta =
+          obs::analyze_timeline(rec->snapshots(), rec->alerts());
+      report::TimelineCell tc;
+      tc.cores = point.cores;
+      tc.vlen_bits = point.vlen_bits;
+      tc.l2_total_bytes = point.l2_total_bytes;
+      tc.instances = point.instances;
+      tc.policy = policy->name();
+      tc.arrivals = arrivals->name();
+      tc.snapshots = rec->snapshots().size();
+      tc.interval_cycles = rec->config().interval_cycles;
+      tc.alerts = ta.alert_count;
+      tc.warmup_cycles = ta.warmup_end_cycles;
+      tc.steady_p99 = ta.final_rolling_p99;
+      tc.max_burn_rate = ta.max_burn_rate;
+      tc.time_in_alert_cycles = ta.time_in_alert_cycles;
+      report::Collector::global().record_timeline(tc);
+    }
+  }
 
   if (report::enabled()) {
     report::RequestSimCell cell;
@@ -365,6 +541,9 @@ CapacityCandidate CapacityPlanner::simulate_point(const Network& net,
     cell.utilization = c.stats.utilization;
     cell.mean_queue = c.stats.mean_queue;
     cell.slo_attainment = c.stats.slo_attainment;
+    cell.mean_queue_wait = c.stats.mean_queue_wait;
+    cell.mean_formation_wait = c.stats.mean_formation_wait;
+    cell.mean_service = c.stats.mean_service;
     report::Collector::global().record_request_sim(cell);
   }
   return c;

@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "serving/arrivals.h"
@@ -31,6 +32,10 @@
 
 namespace vlacnn {
 class ThreadPool;
+}
+
+namespace vlacnn::obs {
+class TimelineRecorder;
 }
 
 namespace vlacnn::serving {
@@ -108,6 +113,35 @@ double nearest_rank(const std::vector<double>& sorted_ascending, double q);
 /// Throws std::invalid_argument when n == 0 or q is outside (0, 1].
 std::size_t nearest_rank_index(std::size_t n, double q);
 
+/// Split `total` (>= 0) into {head, tail} such that head + tail == total
+/// **exactly in floating point**, with head within one rounding of
+/// `head_approx` (clamped to [0, total]). Naive subtraction cannot promise
+/// that: fl(total - head) + head can miss total by an ulp. This uses the
+/// Sterbenz lemma — whichever of the two parts lands in [total/2, total],
+/// subtracting it from total is exact — so the returned pair always
+/// reconstitutes total. Zero/negative/NaN total yields {0, 0}. The latency
+/// attribution below leans on this: components must sum to the latency a
+/// request actually saw, byte for byte.
+std::pair<double, double> exact_split(double total, double head_approx);
+
+/// Per-request latency attribution, appended to RequestSimConfig::request_log
+/// in completion order (batch members in FIFO order within a batch). The
+/// decomposition is exact by construction:
+///   (queue_wait + formation_wait) + service == completion - arrival
+/// evaluated left-to-right in floating point (see exact_split). queue_wait is
+/// the share of the pre-dispatch wait during which *all* instances were busy
+/// (true capacity queueing); formation_wait is the share with an instance
+/// idle — time the batching policy chose to hold the request back.
+struct RequestRecord {
+  double arrival = 0;         ///< cycles: joined the queue
+  double dispatch = 0;        ///< cycles: batch started
+  double completion = 0;      ///< cycles: batch finished
+  double queue_wait = 0;      ///< all-instances-busy share of the wait
+  double formation_wait = 0;  ///< instance-idle (policy) share of the wait
+  double service = 0;         ///< in-service cycles
+  bool within_slo = true;     ///< latency <= slo_cycles (true when no SLO)
+};
+
 /// One simulation's request-level results. All latency fields are in cycles;
 /// use ms() to render at a clock. Counts: offered = completed + dropped once
 /// the loop drains (open-loop processes always drain; closed-loop by
@@ -122,6 +156,13 @@ struct ServingStats {
   double p50 = 0, p95 = 0, p99 = 0, p999 = 0;  ///< latency, cycles
   double mean_latency = 0, max_latency = 0;    ///< latency, cycles
   double mean_wait = 0;                        ///< queueing delay, cycles
+
+  /// Mean latency attribution (cycles): where a request's time actually went.
+  /// Per request the three components sum exactly to its latency (see
+  /// RequestRecord); the means are each component's sum / completed.
+  double mean_queue_wait = 0;      ///< all-instances-busy wait
+  double mean_formation_wait = 0;  ///< batching-policy (instance-idle) wait
+  double mean_service = 0;         ///< in-service time
   double makespan = 0;          ///< last completion (or arrival), cycles
   double mean_queue = 0;        ///< time-weighted queue depth
   double max_queue = 0;         ///< peak queue depth
@@ -152,6 +193,20 @@ struct RequestSimConfig {
   ServiceModel* service = nullptr;
   std::size_t queue_capacity = 0; ///< waiting-room bound; 0 = unbounded
   double slo_cycles = 0;          ///< latency deadline for attainment; 0 = off
+
+  /// Timeline hook (obs/timeline.h). When set, the event loop drives this
+  /// caller-owned recorder (finish() is called with the final makespan) and
+  /// nothing is sunk globally. When null and the VLACNN_TIMELINE knob is on,
+  /// the loop creates its own recorder and records the finished block in
+  /// TimelineSink::global() under `timeline_label` (auto-sequenced when
+  /// empty — parallel drivers must label; the capacity planner does).
+  obs::TimelineRecorder* timeline = nullptr;
+  std::string timeline_label;
+
+  /// When set, the loop appends one RequestRecord per *completed* request
+  /// (drops produce no record). Not an obs hook: the log is product output
+  /// and is filled by simulate_requests_no_obs too.
+  std::vector<RequestRecord>* request_log = nullptr;
 };
 
 /// Run the discrete-event loop to exhaustion: every arrival the process
@@ -162,6 +217,14 @@ struct RequestSimConfig {
 ServingStats simulate_requests(const RequestSimConfig& cfg,
                                ArrivalProcess& arrivals,
                                BatchingPolicy& policy);
+
+/// The same loop compiled with every observability hook (metrics, trace,
+/// timeline) removed — the baseline side of bench_obs_overhead's serving
+/// gate. Produces identical ServingStats and request_log; cfg.timeline is
+/// ignored.
+ServingStats simulate_requests_no_obs(const RequestSimConfig& cfg,
+                                      ArrivalProcess& arrivals,
+                                      BatchingPolicy& policy);
 
 /// A capacity-planning question: can a configuration carry `load_rps` of
 /// Poisson traffic while `attainment_target` of requests finish within

@@ -4,6 +4,9 @@
 // the end-to-end counters the sweep engine feeds.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
 #include <cstdint>
@@ -579,6 +582,86 @@ TEST(ObsEndToEnd, ThreadPoolExposesSizeAndPending) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(pool.pending(), 0u);
+}
+
+// -- JSON escaping + exit-path robustness -------------------------------------
+
+TEST(ObsRegistry, HostileInstrumentNamesStayParseable) {
+  // Every writer in the obs layer now shares obs/json_util.h; names with
+  // quotes, backslashes and raw control bytes must round-trip through the
+  // report regardless of which instrument they label.
+  obs::Registry reg;
+  const std::string c_name = "evil\"quote\\back\tslash";
+  const std::string g_name = std::string("ctrl\x01mix\x1f") + "\n\r";
+  const std::string f_name = "float\x02gauge";
+  const std::string h_name = "hist\x7f\xc3\xa9";  // DEL passes, UTF-8 passes
+  reg.counter(c_name).add(3);
+  reg.gauge(g_name).set(-4);
+  reg.float_gauge(f_name).set(1.25);
+  reg.histogram(h_name).observe(9);
+  const JsonValue root = JsonParser(reg.report_json()).parse();
+  ASSERT_NE(root.find("counters")->find(c_name), nullptr);
+  EXPECT_EQ(root.find("counters")->find(c_name)->number, 3.0);
+  ASSERT_NE(root.find("gauges")->find(g_name), nullptr);
+  EXPECT_EQ(root.find("gauges")->find(g_name)->find("value")->number, -4.0);
+  ASSERT_NE(root.find("float_gauges")->find(f_name), nullptr);
+  EXPECT_EQ(root.find("float_gauges")->find(f_name)->number, 1.25);
+  ASSERT_NE(root.find("histograms")->find(h_name), nullptr);
+  EXPECT_EQ(root.find("histograms")->find(h_name)->find("count")->number, 1.0);
+}
+
+TEST(ObsTrace, HostileSpanArgsStayParseable) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "vlacnn_test_obs_hostile";
+  std::filesystem::remove_all(dir);
+  const auto file = dir / "trace.json";
+  const std::string nasty = std::string("a\x01b\x1f") + "\"\\\n\r\t";
+  {
+    obs::Tracer tracer(file.string());
+    obs::Span span(nasty, &tracer);  // hostile *name*, not just args
+    span.arg(nasty, nasty);
+  }
+  const JsonValue root = JsonParser(read_file(file)).parse();
+  const JsonValue& e = root.find("traceEvents")->array.at(0);
+  EXPECT_EQ(e.find("name")->string, nasty);
+  EXPECT_EQ(e.find("args")->find(nasty)->string, nasty);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObsTrace, FlushesCompleteFileOnEarlyStdExit) {
+  // CLI error paths bail through std::exit. The tracer is a function-local
+  // static, so its destructor must still write a complete, parseable file —
+  // the regression this guards: a truncated or missing trace after an early
+  // exit. Run the exit in a forked child and parse the file back here.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "vlacnn_test_obs_exit";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto file = dir / "trace.json";
+
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    // Child: mimic a CLI that armed tracing, did a little work, then died on
+    // a usage error. std::exit (not _exit) so static destructors run.
+    obs::Tracer::global().open(file.string());
+    {
+      obs::Span span("cli.startup", &obs::Tracer::global());
+      span.arg("reason", "usage error");
+    }
+    std::exit(2);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+  ASSERT_TRUE(std::filesystem::exists(file));
+  const JsonValue root = JsonParser(read_file(file)).parse();
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].find("name")->string, "cli.startup");
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -209,6 +209,111 @@ TEST(ReportJson, EmitParseRoundTripIsExact) {
   EXPECT_NE(rep.to_json().find("\"dispatch_cells\": 1"), std::string::npos);
 }
 
+TEST(ReportJson, RequestSimAttributionAndTimelineCellsRoundTrip) {
+  RunReport rep;
+  rep.tool = "roundtrip_tl";
+  report::RequestSimCell rc;
+  rc.cores = 4;
+  rc.vlen_bits = 1024;
+  rc.l2_total_bytes = 8u << 20;
+  rc.instances = 2;
+  rc.policy = "adaptive8@2e+06";
+  rc.arrivals = "poisson";
+  rc.offered = 2000;
+  rc.completed = 1990;
+  rc.dropped = 10;
+  rc.mean_latency = 3.0 / 7.0;  // %.17g must survive bit-exactly
+  rc.mean_queue_wait = 1.0 / 7.0;
+  rc.mean_formation_wait = 1.0 / 13.0;
+  rc.mean_service = 2.0 / 11.0;
+  rep.request_sim.push_back(rc);
+  report::TimelineCell tc;
+  tc.cores = 4;
+  tc.vlen_bits = 1024;
+  tc.l2_total_bytes = 8u << 20;
+  tc.instances = 2;
+  tc.policy = "adaptive8@2e+06";
+  tc.arrivals = "poisson";
+  tc.snapshots = 57;
+  tc.interval_cycles = 1e6;
+  tc.alerts = 3;
+  tc.warmup_cycles = 4e6;
+  tc.steady_p99 = 1.0 / 3.0;
+  tc.max_burn_rate = 2.5;
+  tc.time_in_alert_cycles = 7e6;
+  rep.timeline.push_back(tc);
+
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"timeline_cells\": 1"), std::string::npos);
+  const RunReport back = report::report_from_json(json);
+  ASSERT_EQ(back.request_sim.size(), 1u);
+  EXPECT_EQ(back.request_sim[0].mean_queue_wait, rc.mean_queue_wait);
+  EXPECT_EQ(back.request_sim[0].mean_formation_wait, rc.mean_formation_wait);
+  EXPECT_EQ(back.request_sim[0].mean_service, rc.mean_service);
+  ASSERT_EQ(back.timeline.size(), 1u);
+  const report::TimelineCell& bt = back.timeline[0];
+  EXPECT_EQ(bt.cores, tc.cores);
+  EXPECT_EQ(bt.vlen_bits, tc.vlen_bits);
+  EXPECT_EQ(bt.l2_total_bytes, tc.l2_total_bytes);
+  EXPECT_EQ(bt.instances, tc.instances);
+  EXPECT_EQ(bt.policy, tc.policy);
+  EXPECT_EQ(bt.arrivals, tc.arrivals);
+  EXPECT_EQ(bt.snapshots, tc.snapshots);
+  EXPECT_EQ(bt.interval_cycles, tc.interval_cycles);
+  EXPECT_EQ(bt.alerts, tc.alerts);
+  EXPECT_EQ(bt.warmup_cycles, tc.warmup_cycles);
+  EXPECT_EQ(bt.steady_p99, tc.steady_p99);  // bit-exact, not NEAR
+  EXPECT_EQ(bt.max_burn_rate, tc.max_burn_rate);
+  EXPECT_EQ(bt.time_in_alert_cycles, tc.time_in_alert_cycles);
+  // The summary table renders the timeline section.
+  const std::string text = report::summarize(back);
+  EXPECT_NE(text.find("adaptive8@2e+06"), std::string::npos);
+
+  // Pre-attribution reports (no attribution keys, no timeline section) still
+  // parse, with the new fields defaulting to zero.
+  RunReport old;
+  old.tool = "old";
+  report::RequestSimCell oc;
+  oc.policy = "nobatch";
+  oc.arrivals = "poisson";
+  old.request_sim.push_back(oc);
+  std::string old_json = old.to_json();
+  for (const char* key : {"\"mean_queue_wait\"", "\"mean_formation_wait\"",
+                          "\"mean_service\""}) {
+    // Rename the keys so the parser sees a file without them (unknown keys
+    // are ignored), exactly like a report written before they existed.
+    const std::size_t at = old_json.find(key);
+    ASSERT_NE(at, std::string::npos);
+    old_json.replace(at, 6, "\"gone_");
+  }
+  const RunReport oldback = report::report_from_json(old_json);
+  ASSERT_EQ(oldback.request_sim.size(), 1u);
+  EXPECT_EQ(oldback.request_sim[0].mean_queue_wait, 0.0);
+  EXPECT_EQ(oldback.request_sim[0].mean_service, 0.0);
+}
+
+TEST(ReportCollector, RecordTimelineKeyedDedup) {
+  report::Collector c;
+  report::TimelineCell tc;
+  tc.cores = 2;
+  tc.vlen_bits = 512;
+  tc.l2_total_bytes = 4u << 20;
+  tc.instances = 1;
+  tc.policy = "nobatch";
+  tc.arrivals = "poisson";
+  tc.max_burn_rate = 0.5;
+  c.record_timeline(tc);
+  tc.max_burn_rate = 0.25;  // same key: later record wins
+  c.record_timeline(tc);
+  tc.arrivals = "closed_loop";  // different key: second cell
+  tc.max_burn_rate = 0.125;
+  c.record_timeline(tc);
+  const RunReport snap = c.snapshot("t", 0.0);
+  ASSERT_EQ(snap.timeline.size(), 2u);
+  EXPECT_EQ(snap.timeline[0].max_burn_rate, 0.125);  // closed_loop < poisson
+  EXPECT_EQ(snap.timeline[1].max_burn_rate, 0.25);
+}
+
 TEST(ReportCollector, RecordDispatchKeyedDedup) {
   report::Collector c;
   report::DispatchCell dc;

@@ -8,10 +8,13 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/thread_pool.h"
 #include "net/models.h"
+#include "obs/timeline.h"
 #include "serving/request_sim.h"
 
 namespace vlacnn::serving {
@@ -335,6 +338,171 @@ TEST(RequestSim, RejectsNonPositiveServiceModelOutput) {
   EXPECT_THROW(simulate_requests(c, arrivals, policy), std::logic_error);
 }
 
+// ---------------------------------------------------- attribution ----------
+
+TEST(ExactSplit, HeadPlusTailReconstitutesTotalExactly) {
+  // The Sterbenz-based split must reconstitute total bit-for-bit even when
+  // naive subtraction would round: exercise awkward magnitude ratios.
+  const double totals[] = {1.0, 3.0, 0.1, 1e-9, 1e12, 12345.6789,
+                           7.000000000000001};
+  const double fracs[] = {0.0, 1e-17, 0.1, 0.3333333333333333, 0.5,
+                          0.6666666666666666, 0.9999999999999999, 1.0};
+  for (double total : totals) {
+    for (double f : fracs) {
+      const auto [head, tail] = exact_split(total, f * total);
+      EXPECT_EQ(head + tail, total) << total << " " << f;
+      EXPECT_GE(head, 0.0);
+      EXPECT_GE(tail, 0.0);
+      // head stays within a rounding of the request.
+      EXPECT_NEAR(head, f * total, 1e-12 * total + 1e-300);
+    }
+  }
+}
+
+TEST(ExactSplit, ClampsAndDegenerateInputs) {
+  EXPECT_EQ(exact_split(10.0, -5.0).first, 0.0);
+  EXPECT_EQ(exact_split(10.0, -5.0).second, 10.0);
+  EXPECT_EQ(exact_split(10.0, 25.0).first, 10.0);
+  EXPECT_EQ(exact_split(10.0, 25.0).second, 0.0);
+  EXPECT_EQ(exact_split(0.0, 1.0), (std::pair<double, double>{0.0, 0.0}));
+  EXPECT_EQ(exact_split(-3.0, 1.0), (std::pair<double, double>{0.0, 0.0}));
+  EXPECT_EQ(exact_split(std::nan(""), 1.0),
+            (std::pair<double, double>{0.0, 0.0}));
+  EXPECT_EQ(exact_split(10.0, std::nan("")).first, 0.0);
+  EXPECT_EQ(exact_split(10.0, std::nan("")).second, 10.0);
+}
+
+TEST(RequestSim, AttributionSumsExactlyToLatencyForEveryRequest) {
+  // The acceptance invariant: per completed request, the three components
+  // reconstruct the latency *exactly* in floating point, over a stochastic
+  // workload big enough to hit queueing, batching holds, and idle gaps.
+  std::vector<RequestRecord> log;
+  RequestSimConfig c = config(2, 300.0, 150.0, 16, 2000.0);
+  c.request_log = &log;
+  PoissonArrivals arrivals(500.0, 20000, 11);
+  AdaptiveBatchPolicy policy(4, 400.0);
+  const ServingStats s = simulate_requests(c, arrivals, policy);
+  ASSERT_EQ(log.size(), s.completed);
+  double qw = 0, fw = 0, sv = 0;
+  for (const RequestRecord& r : log) {
+    const double lat = r.completion - r.arrival;
+    EXPECT_EQ((r.queue_wait + r.formation_wait) + r.service, lat);
+    EXPECT_GE(r.queue_wait, 0.0);
+    EXPECT_GE(r.formation_wait, 0.0);
+    EXPECT_GT(r.service, 0.0);
+    EXPECT_LE(r.arrival, r.dispatch);
+    EXPECT_LT(r.dispatch, r.completion);
+    EXPECT_EQ(r.within_slo, lat <= c.slo_cycles);
+    qw += r.queue_wait;
+    fw += r.formation_wait;
+    sv += r.service;
+  }
+  const double n = static_cast<double>(s.completed);
+  EXPECT_DOUBLE_EQ(s.mean_queue_wait, qw / n);
+  EXPECT_DOUBLE_EQ(s.mean_formation_wait, fw / n);
+  EXPECT_DOUBLE_EQ(s.mean_service, sv / n);
+  // The means decompose the aggregate means too (up to accumulation order).
+  EXPECT_NEAR(s.mean_queue_wait + s.mean_formation_wait, s.mean_wait,
+              1e-9 * s.mean_wait + 1e-12);
+  EXPECT_NEAR(s.mean_queue_wait + s.mean_formation_wait + s.mean_service,
+              s.mean_latency, 1e-9 * s.mean_latency + 1e-12);
+}
+
+TEST(RequestSim, AttributionHandComputedAdaptiveHold) {
+  // The AdaptiveFlushHandSchedule scenario: the instance sits idle while the
+  // policy holds the queue until t=100, so the entire pre-dispatch wait is
+  // formation wait, none of it capacity queueing.
+  std::vector<RequestRecord> log;
+  RequestSimConfig c = config(1, 50.0, 10.0);
+  c.request_log = &log;
+  TraceArrivals arrivals({0.0, 10.0, 20.0});
+  AdaptiveBatchPolicy policy(8, 100.0);
+  const ServingStats s = simulate_requests(c, arrivals, policy);
+  ASSERT_EQ(log.size(), 3u);
+  const double waits[] = {100.0, 90.0, 80.0};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(log[i].arrival, 10.0 * i);
+    EXPECT_EQ(log[i].dispatch, 100.0);
+    EXPECT_EQ(log[i].completion, 170.0);
+    EXPECT_EQ(log[i].queue_wait, 0.0) << i;
+    EXPECT_EQ(log[i].formation_wait, waits[i]) << i;
+    EXPECT_EQ(log[i].service, 70.0) << i;
+  }
+  EXPECT_EQ(s.mean_formation_wait, s.mean_wait);
+  EXPECT_EQ(s.mean_queue_wait, 0.0);
+  EXPECT_EQ(s.mean_service, 70.0);
+}
+
+TEST(RequestSim, AttributionHandComputedBusyQueue) {
+  // Ten simultaneous arrivals, nobatch, one instance, service 50: the
+  // instance never idles after t=0, so every wait is pure capacity queueing.
+  std::vector<RequestRecord> log;
+  RequestSimConfig c = config(1, 50.0, 50.0);
+  c.request_log = &log;
+  TraceArrivals arrivals(std::vector<double>(10, 0.0));
+  NoBatchPolicy policy;
+  const ServingStats s = simulate_requests(c, arrivals, policy);
+  ASSERT_EQ(log.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(log[i].queue_wait, 50.0 * i) << i;
+    EXPECT_EQ(log[i].formation_wait, 0.0) << i;
+    EXPECT_EQ(log[i].service, 50.0) << i;
+  }
+  EXPECT_EQ(s.mean_queue_wait, s.mean_wait);
+  EXPECT_EQ(s.mean_formation_wait, 0.0);
+}
+
+TEST(RequestSim, NoObsVariantMatchesInstrumentedLoopByteForByte) {
+  // simulate_requests_no_obs is the benchmark baseline: same stats, same
+  // request log, with every obs hook compiled out.
+  auto run = [](bool no_obs) {
+    std::vector<RequestRecord> log;
+    RequestSimConfig c = config(2, 300.0, 150.0, 16, 2000.0);
+    c.request_log = &log;
+    PoissonArrivals arrivals(500.0, 5000, 7);
+    AdaptiveBatchPolicy policy(4, 400.0);
+    const ServingStats s = no_obs ? simulate_requests_no_obs(c, arrivals, policy)
+                                  : simulate_requests(c, arrivals, policy);
+    return std::make_pair(s.to_json(), log);
+  };
+  const auto [json_obs, log_obs] = run(false);
+  const auto [json_no, log_no] = run(true);
+  EXPECT_EQ(json_obs, json_no);
+  EXPECT_NE(json_obs.find("\"mean_queue_wait\""), std::string::npos);
+  EXPECT_NE(json_obs.find("\"mean_formation_wait\""), std::string::npos);
+  EXPECT_NE(json_obs.find("\"mean_service\""), std::string::npos);
+  ASSERT_EQ(log_obs.size(), log_no.size());
+  for (std::size_t i = 0; i < log_obs.size(); ++i) {
+    EXPECT_EQ(log_obs[i].arrival, log_no[i].arrival);
+    EXPECT_EQ(log_obs[i].dispatch, log_no[i].dispatch);
+    EXPECT_EQ(log_obs[i].completion, log_no[i].completion);
+    EXPECT_EQ(log_obs[i].queue_wait, log_no[i].queue_wait);
+    EXPECT_EQ(log_obs[i].formation_wait, log_no[i].formation_wait);
+    EXPECT_EQ(log_obs[i].service, log_no[i].service);
+    EXPECT_EQ(log_obs[i].within_slo, log_no[i].within_slo);
+  }
+}
+
+TEST(RequestSim, CallerOwnedTimelineRecorderSeesTheWholeRun) {
+  // The event loop drives a caller-supplied recorder and finishes it at the
+  // makespan; nothing reaches the global sink in that mode.
+  obs::TimelineSink::global().reset();
+  obs::TimelineConfig tc;
+  tc.interval_cycles = 100.0;
+  obs::TimelineRecorder rec(tc);
+  RequestSimConfig c = config(1, 50.0, 50.0);
+  c.timeline = &rec;
+  TraceArrivals arrivals(std::vector<double>(10, 0.0));
+  NoBatchPolicy policy;
+  const ServingStats s = simulate_requests(c, arrivals, policy);
+  ASSERT_FALSE(rec.snapshots().empty());
+  const auto& last = rec.snapshots().back();
+  EXPECT_EQ(last.t_end, s.makespan);
+  EXPECT_EQ(last.cum_completed, s.completed);
+  EXPECT_EQ(last.cum_offered, s.offered);
+  EXPECT_EQ(obs::TimelineSink::global().block_count(), 0u);
+}
+
 // ------------------------------------------------ capacity planner ---------
 
 class CapacityTest : public ::testing::Test {
@@ -422,6 +590,47 @@ TEST_F(CapacityTest, GridIsByteIdenticalAcrossPoolSizes) {
     EXPECT_EQ(r1[i].eval.area_mm2, r8[i].eval.area_mm2) << i;
     EXPECT_EQ(r1[i].meets_slo, r8[i].meets_slo) << i;
   }
+}
+
+TEST_F(CapacityTest, TimelineJsonlIsByteIdenticalAcrossPoolSizes) {
+  // The tentpole determinism guarantee end to end: a timeline-enabled grid
+  // evaluation writes byte-identical JSONL whether the planner ran on one
+  // thread or eight. Blocks are keyed by grid-point label and written in
+  // sorted order, so scheduling cannot reorder the file.
+  const Network net = tiny_net();
+  CapacityQuery q;
+  q.load_rps = 100000;
+  q.slo_ms = 5;
+  q.requests = 300;
+  q.seed = 42;
+
+  const std::string before_path = obs::timeline_path();
+  auto run_with_pool = [&](int threads, const char* tag) {
+    const auto file = dir_ / (std::string("tl_") + tag + ".jsonl");
+    obs::set_timeline_path(file.string());
+    obs::TimelineSink::global().reset();
+    ResultsDb db((dir_ / (std::string("tl_") + tag + ".csv")).string());
+    SweepDriver driver(&db);
+    ThreadPool pool(threads);
+    CapacityPlanner(&driver).evaluate_grid(net, q, std::nullopt, &pool);
+    EXPECT_GT(obs::TimelineSink::global().block_count(), 0u);
+    obs::TimelineSink::global().write_file();
+    obs::TimelineSink::global().reset();
+    std::ifstream in(file);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string serial = run_with_pool(1, "p1");
+  const std::string parallel = run_with_pool(8, "p8");
+  obs::set_timeline_path(before_path);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // Labels carry the grid point, so blocks are self-describing.
+  EXPECT_NE(serial.find("\"type\":\"run\""), std::string::npos);
+  EXPECT_NE(serial.find("cores"), std::string::npos);
+  EXPECT_NE(serial.find("\"type\":\"header\""), std::string::npos);
+  EXPECT_NE(serial.find("\"type\":\"snapshot\""), std::string::npos);
 }
 
 TEST_F(CapacityTest, CheapestPicksMinimalAreaAmongFeasible) {

@@ -30,6 +30,11 @@
 //                             calibration; env override VLACNN_DISPATCH_CYCLES)
 //   --json FILE               also write the full candidate list as JSON;
 //                             byte-stable across runs and VLACNN_THREADS
+//   --timeline FILE           record a per-grid-point serving timeline to
+//                             FILE as JSONL (same as VLACNN_TIMELINE=FILE;
+//                             cadence via VLACNN_TIMELINE_INTERVAL). Inspect
+//                             with `vlacnn-report timeline FILE`. Byte-stable
+//                             across runs and VLACNN_THREADS.
 //
 // The sweep cache (results/sweep_cache.csv, override REPRO_RESULTS_DIR) makes
 // warm runs fast; a cold run simulates the grid points it needs first.
@@ -45,6 +50,8 @@
 
 #include "dispatch/learned_dispatcher.h"
 #include "ml/dataset.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "ml/random_forest.h"
 #include "net/models.h"
 #include "report/collector.h"
@@ -65,7 +72,8 @@ int usage(const char* argv0) {
                "          [--policy nobatch|maxbatch|adaptive] [--max-batch N]\n"
                "          [--flush-ms F] [--queue N] [--area-budget F]\n"
                "          [--dispatch oracle|learned|fixed:<algo>]\n"
-               "          [--dispatch-cycles N] [--json FILE]\n",
+               "          [--dispatch-cycles N] [--json FILE] "
+               "[--timeline FILE]\n",
                argv0);
   return 2;
 }
@@ -114,6 +122,10 @@ std::string candidate_json(const CapacityCandidate& c) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Arm the obs exit hooks before any flag parsing can throw: a run that dies
+  // on a bad CLI value still flushes its VLACNN_TRACE/VLACNN_METRICS output
+  // (the tracer only writes if its singleton was constructed before exit).
+  vlacnn::obs::install_exit_report();
   std::string net_name = "vgg16";
   std::string json_path;
   CapacityQuery q;
@@ -160,6 +172,8 @@ int main(int argc, char** argv) {
         dispatch_cycles = suffixed("--dispatch-cycles", next(), "");
       } else if (flag == "--json") {
         json_path = next();
+      } else if (flag == "--timeline") {
+        vlacnn::obs::set_timeline_path(next());
       } else {
         return usage(argv[0]);
       }
@@ -265,6 +279,11 @@ int main(int argc, char** argv) {
                   "%.2f, mean queue %.2f\n",
                   s.slo_attainment * 100.0, s.utilization * 100.0,
                   s.mean_batch, s.mean_queue);
+      std::printf("  latency split: queue-wait %.2f ms + formation-wait "
+                  "%.2f ms + service %.2f ms\n",
+                  ServingStats::ms(s.mean_queue_wait, q.clock_hz),
+                  ServingStats::ms(s.mean_formation_wait, q.clock_hz),
+                  ServingStats::ms(s.mean_service, q.clock_hz));
     } else {
       std::printf("no configuration meets the SLO at this load\n");
     }
@@ -301,6 +320,11 @@ int main(int argc, char** argv) {
       f << out;
       std::printf("wrote %s (%zu candidates)\n", json_path.c_str(),
                   candidates.size());
+    }
+    if (vlacnn::obs::timeline_enabled()) {
+      std::printf("timeline: %zu run blocks -> %s (written at exit)\n",
+                  vlacnn::obs::TimelineSink::global().block_count(),
+                  vlacnn::obs::timeline_path().c_str());
     }
     return best.has_value() ? 0 : 1;
   } catch (const std::exception& e) {

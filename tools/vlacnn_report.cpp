@@ -11,12 +11,21 @@
 //       budget (default 2%); exit 1 on any regression over budget. Wall time
 //       is only gated when --wall-budget-pct is given (wall clock is noisy
 //       across machines; cycles are deterministic).
+//
+//   vlacnn-report timeline <timeline.jsonl> [--snapshots N]
+//       Analyze a VLACNN_TIMELINE file: per simulated run, detect the warm-up
+//       transient, summarize the steady-state window and SLO burn-rate, and
+//       tabulate up to N snapshots (default 12, 0 = all).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "report/json.h"
 #include "report/report.h"
 
 namespace {
@@ -25,8 +34,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s summarize <report.json>\n"
                "       %s diff <baseline.json> <current.json> "
-               "[--budget-pct N] [--wall-budget-pct N]\n",
-               argv0, argv0);
+               "[--budget-pct N] [--wall-budget-pct N]\n"
+               "       %s timeline <timeline.jsonl> [--snapshots N]\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -56,13 +66,167 @@ double pct_arg(const char* flag, const char* value) {
   return v;
 }
 
+/// One run block out of a VLACNN_TIMELINE JSONL file, rebuilt into the
+/// obs structs so analyze_timeline() gives the same answer the producer
+/// would have computed.
+struct TimelineRun {
+  std::string label;
+  double slo_cycles = 0;
+  double interval_cycles = 0;
+  std::vector<vlacnn::obs::TimelineSnapshot> snapshots;
+  std::vector<vlacnn::obs::TimelineAlert> alerts;
+};
+
+std::vector<TimelineRun> load_timeline(const std::string& path) {
+  using vlacnn::report::Json;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<TimelineRun> runs;
+  std::string line;
+  std::size_t lineno = 0;
+  auto num = [](const Json& j, const char* key) {
+    return j.at(key).num_or(0);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Json j;
+    try {
+      j = vlacnn::report::parse_json(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " +
+                               e.what());
+    }
+    const std::string type = j.at("type").string;
+    if (type == "run") {
+      runs.emplace_back();
+      runs.back().label = j.at("label").string;
+      continue;
+    }
+    if (runs.empty()) {
+      // A block written directly by TimelineRecorder::to_jsonl() has no run
+      // line; treat the whole file as one unlabeled run.
+      runs.emplace_back();
+    }
+    TimelineRun& run = runs.back();
+    if (type == "header") {
+      run.slo_cycles = num(j, "slo_cycles");
+      run.interval_cycles = num(j, "interval_cycles");
+    } else if (type == "snapshot") {
+      vlacnn::obs::TimelineSnapshot s;
+      s.t_start = num(j, "t_start");
+      s.t_end = num(j, "t_end");
+      s.arrivals = static_cast<std::uint64_t>(num(j, "arrivals"));
+      s.drops = static_cast<std::uint64_t>(num(j, "drops"));
+      s.dispatches = static_cast<std::uint64_t>(num(j, "dispatches"));
+      s.completions = static_cast<std::uint64_t>(num(j, "completions"));
+      s.queue_depth = static_cast<std::uint64_t>(num(j, "queue_depth"));
+      s.in_flight = static_cast<int>(num(j, "in_flight"));
+      s.mean_queue = num(j, "mean_queue");
+      s.utilization = num(j, "utilization");
+      s.arrival_rate = num(j, "arrival_rate");
+      s.completion_rate = num(j, "completion_rate");
+      s.rolling_p99 = num(j, "rolling_p99");
+      s.rolling_count = static_cast<std::uint64_t>(num(j, "rolling_count"));
+      s.burn_short = num(j, "burn_short");
+      s.burn_long = num(j, "burn_long");
+      s.alert = j.at("alert").boolean;
+      s.cum_offered = static_cast<std::uint64_t>(num(j, "cum_offered"));
+      s.cum_completed = static_cast<std::uint64_t>(num(j, "cum_completed"));
+      s.cum_dropped = static_cast<std::uint64_t>(num(j, "cum_dropped"));
+      run.snapshots.push_back(s);
+    } else if (type == "alert" || type == "clear") {
+      vlacnn::obs::TimelineAlert a;
+      a.t = num(j, "t");
+      a.raised = type == "alert";
+      a.burn_rate = num(j, "burn_rate");
+      run.alerts.push_back(a);
+    } else {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": unknown line type '" + type + "'");
+    }
+  }
+  return runs;
+}
+
+int render_timeline(const std::string& path, std::size_t max_snaps) {
+  const std::vector<TimelineRun> runs = load_timeline(path);
+  if (runs.empty()) {
+    std::printf("%s: no timeline runs\n", path.c_str());
+    return 1;
+  }
+  for (const TimelineRun& run : runs) {
+    const vlacnn::obs::TimelineAnalysis a =
+        vlacnn::obs::analyze_timeline(run.snapshots, run.alerts);
+    std::printf("== %s ==\n",
+                run.label.empty() ? "(unlabeled run)" : run.label.c_str());
+    std::printf(
+        "  %zu snapshots x %.4g cycles, slo %.4g cycles, %zu alert events\n",
+        run.snapshots.size(), run.interval_cycles, run.slo_cycles,
+        run.alerts.size());
+    std::printf("  warm-up: %zu snapshots (%.4g cycles) until rolling p99 "
+                "settles\n",
+                a.warmup_snapshots, a.warmup_end_cycles);
+    std::printf("  steady state: %.4g arrivals/Mcyc, %.4g completions/Mcyc, "
+                "utilization %.1f%%, mean queue %.2f\n",
+                a.steady_arrival_rate * 1e6, a.steady_completion_rate * 1e6,
+                a.steady_utilization * 100.0, a.steady_mean_queue);
+    std::printf("  rolling p99 %.4g cycles; max burn rate %.3f; %llu alerts, "
+                "%.4g cycles in alert\n",
+                a.final_rolling_p99, a.max_burn_rate,
+                static_cast<unsigned long long>(a.alert_count),
+                a.time_in_alert_cycles);
+    const std::size_t n = run.snapshots.size();
+    const std::size_t shown =
+        max_snaps == 0 ? n : std::min<std::size_t>(n, max_snaps);
+    if (shown > 0) {
+      std::printf("  %12s %6s %6s %5s %6s %7s %10s %8s %5s\n", "t_end", "arr",
+                  "done", "drop", "queue", "util%", "p99roll", "burn", "alert");
+      for (std::size_t i = 0; i < shown; ++i) {
+        const vlacnn::obs::TimelineSnapshot& s = run.snapshots[i];
+        std::printf("  %12.4g %6llu %6llu %5llu %6.1f %7.1f %10.4g %8.3f %5s\n",
+                    s.t_end, static_cast<unsigned long long>(s.arrivals),
+                    static_cast<unsigned long long>(s.completions),
+                    static_cast<unsigned long long>(s.drops), s.mean_queue,
+                    s.utilization * 100.0, s.rolling_p99, s.burn_long,
+                    s.alert ? "YES" : "-");
+      }
+      if (shown < n) {
+        std::printf("  ... %zu more snapshots (--snapshots 0 shows all)\n",
+                    n - shown);
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace vlacnn::report;
+  // Arm the obs exit hooks up front so VLACNN_TRACE/VLACNN_METRICS runs that
+  // die on a CLI error still flush their files (the tracer only writes if its
+  // singleton was constructed before exit).
+  vlacnn::obs::install_exit_report();
   try {
     if (argc < 2) return usage(argv[0]);
     const std::string cmd = argv[1];
+    if (cmd == "timeline") {
+      if (argc < 3) return usage(argv[0]);
+      std::size_t max_snaps = 12;
+      for (int i = 3; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--snapshots" && i + 1 < argc) {
+          max_snaps =
+              static_cast<std::size_t>(pct_arg("--snapshots", argv[++i]));
+        } else {
+          std::fprintf(stderr, "unknown or incomplete option '%s'\n",
+                       flag.c_str());
+          return usage(argv[0]);
+        }
+      }
+      return render_timeline(argv[2], max_snaps);
+    }
     if (cmd == "summarize") {
       if (argc != 3) return usage(argv[0]);
       std::fputs(summarize(load(argv[2])).c_str(), stdout);
