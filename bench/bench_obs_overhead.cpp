@@ -13,12 +13,12 @@
 // pass) on scheduler jitter alone. Both sides report min/median/max so the
 // spread is visible in the output and in BENCH_obs.json. Informational
 // passes repeat each measurement with the obs paths forced on (metrics +
-// tracing for conv; a live TimelineRecorder for serving) to show what the
-// enabled path costs.
+// tracing for conv; a live TimelineRecorder and a live RequestTraceRecorder
+// for serving) to show what the enabled paths cost.
 //
 // Run from the build tree: ./bench_obs_overhead  (no arguments; ignores
-// VLACNN_METRICS/VLACNN_TRACE/VLACNN_TIMELINE so a CI environment can't skew
-// the verdict).
+// VLACNN_METRICS/VLACNN_TRACE/VLACNN_TIMELINE/VLACNN_REQTRACE so a CI
+// environment can't skew the verdict).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +29,7 @@
 #include "algos/registry.h"
 #include "net/models.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "serving/arrivals.h"
@@ -114,44 +115,59 @@ void print_spread(const char* label, const Spread& s, const char* suffix) {
 constexpr std::uint64_t kServeRequests = 1'500'000;
 
 serving::ServingStats serve_once_impl(bool instrumented,
-                                      obs::TimelineRecorder* rec) {
+                                      obs::TimelineRecorder* rec,
+                                      obs::RequestTraceRecorder* rrec) {
   serving::RequestSimConfig rc;
   rc.instances = 4;
   rc.cost = {50000, 9000};
   rc.queue_capacity = 64;
   rc.slo_cycles = 200000;
   rc.timeline = rec;
+  rc.reqtrace = rrec;
   serving::PoissonArrivals arrivals(4500.0, kServeRequests, 7);
   serving::AdaptiveBatchPolicy policy(8, 40000);
   return instrumented ? serving::simulate_requests(rc, arrivals, policy)
                       : serving::simulate_requests_no_obs(rc, arrivals, policy);
 }
 
-double serve_once(bool instrumented, bool with_timeline, double* sink) {
+/// What the serving-side informational pass forces on, one at a time.
+enum class ServeExtra { kNone, kTimeline, kReqTrace };
+
+double serve_once(bool instrumented, ServeExtra extra, double* sink) {
   const auto t0 = std::chrono::steady_clock::now();
-  if (with_timeline) {
+  if (extra == ServeExtra::kTimeline) {
     obs::TimelineConfig tcfg;
     tcfg.interval_cycles = 1e6;
     tcfg.slo_cycles = 200000;
     tcfg.instances = 4;
     obs::TimelineRecorder rec(tcfg);
-    *sink += serve_once_impl(instrumented, &rec).mean_latency;
+    *sink += serve_once_impl(instrumented, &rec, nullptr).mean_latency;
     *sink += static_cast<double>(rec.snapshots().size());
+  } else if (extra == ServeExtra::kReqTrace) {
+    obs::ReqTraceConfig rtc;
+    rtc.top_k = 8;
+    rtc.slo_cycles = 200000;
+    rtc.service_layers = {{"conv1/direct", 1.0},
+                          {"conv2/gemm6", 2.0},
+                          {"conv3/winograd", 0.5}};
+    obs::RequestTraceRecorder rec(rtc);
+    *sink += serve_once_impl(instrumented, nullptr, &rec).mean_latency;
+    *sink += static_cast<double>(rec.sampled().size());
   } else {
-    *sink += serve_once_impl(instrumented, nullptr).mean_latency;
+    *sink += serve_once_impl(instrumented, nullptr, nullptr).mean_latency;
   }
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
 }
 
-Measurement measure_serving(int reps, bool with_timeline, double* sink) {
-  serve_once(false, false, sink);  // warm-up, one untimed pass each
-  serve_once(true, with_timeline, sink);
+Measurement measure_serving(int reps, ServeExtra extra, double* sink) {
+  serve_once(false, ServeExtra::kNone, sink);  // warm-up, one untimed pass each
+  serve_once(true, extra, sink);
   std::vector<double> base_ms, obs_ms;
   for (int r = 0; r < reps; ++r) {
-    base_ms.push_back(serve_once(false, false, sink));
-    obs_ms.push_back(serve_once(true, with_timeline, sink));
+    base_ms.push_back(serve_once(false, ServeExtra::kNone, sink));
+    obs_ms.push_back(serve_once(true, extra, sink));
   }
   return {spread(base_ms), spread(obs_ms)};
 }
@@ -175,6 +191,7 @@ int main(int argc, char** argv) {
   // The verdict must reflect the *disabled* path regardless of environment.
   obs::set_metrics_mode(obs::ReportMode::kOff);
   obs::set_timeline_path("");
+  obs::set_reqtrace_path("");
 
   const std::vector<Point> pts = workload();
   const SimConfig config = make_sim_config(512, 1u << 20);
@@ -224,8 +241,7 @@ int main(int argc, char** argv) {
               "adaptive(8) batching, %d reps each side\n\n",
               static_cast<unsigned long long>(kServeRequests), kReps);
   double sink = 0;
-  const Measurement srv = measure_serving(kReps, /*with_timeline=*/false,
-                                          &sink);
+  const Measurement srv = measure_serving(kReps, ServeExtra::kNone, &sink);
   const double srv_pct = (srv.obs.med / srv.base.med - 1.0) * 100.0;
   const double srv_gap_ms = srv.obs.med - srv.base.med;
   const double srv_noise_ms = srv.base.max - srv.base.min;
@@ -236,13 +252,20 @@ int main(int argc, char** argv) {
               srv_gap_ms, srv_noise_ms);
 
   // Informational: the same loop feeding a live TimelineRecorder (1e6-cycle
-  // snapshots, SLO burn tracking) — what VLACNN_TIMELINE actually costs.
+  // snapshots, SLO burn tracking) — what VLACNN_TIMELINE actually costs —
+  // and then a live RequestTraceRecorder (top-8 tail sampling, 3-layer span
+  // splitting, latency exemplars) — what VLACNN_REQTRACE actually costs.
   if (kInfoReps > 0) {
     const Measurement srv_on =
-        measure_serving(kInfoReps, /*with_timeline=*/true, &sink);
+        measure_serving(kInfoReps, ServeExtra::kTimeline, &sink);
     std::snprintf(tail, sizeof tail, "   overhead %+.2f%%  (informational)",
                   (srv_on.obs.med / srv_on.base.med - 1.0) * 100.0);
     print_spread("timeline enabled", srv_on.obs, tail);
+    const Measurement srv_rt =
+        measure_serving(kInfoReps, ServeExtra::kReqTrace, &sink);
+    std::snprintf(tail, sizeof tail, "   overhead %+.2f%%  (informational)",
+                  (srv_rt.obs.med / srv_rt.base.med - 1.0) * 100.0);
+    print_spread("reqtrace enabled", srv_rt.obs, tail);
   }
   if (sink == 54321.0) std::printf("(unreachable)\n");  // defeat DCE
 

@@ -34,8 +34,10 @@ else
 fi
 
 # -- 2: knobs read in src/ must be documented ---------------------------------
-read_knobs=$(grep -rhoE 'getenv\("(VLACNN|REPRO)_[A-Z_]+"\)' src \
-  | sed -E 's/getenv\("([A-Z_]+)"\)/\1/' | sort -u)
+# parse_u64_env (obs/reqtrace.cpp) is a getenv wrapper: a knob name passed to
+# it is read just as surely as a literal getenv call.
+read_knobs=$(grep -rhoE '(getenv|parse_u64_env)\("(VLACNN|REPRO)_[A-Z_]+"' src \
+  | sed -E 's/.*\("([A-Z_]+)"/\1/' | sort -u)
 for knob in $read_knobs; do
   for doc in README.md DESIGN.md; do
     if ! grep -q "$knob" "$doc"; then

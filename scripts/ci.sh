@@ -79,6 +79,23 @@ cmp "$CAP_DIR/tl-t1.jsonl" "$CAP_DIR/tl-t8.jsonl"
   >/dev/null
 echo "timeline JSONL byte-identical at VLACNN_THREADS=1 and 8"
 
+echo "== reqtrace: per-request trace determinism across thread counts ========"
+# Per-request tracing over the same planner run: the tail-sampled trace JSONL
+# must be byte-identical across pool sizes too (DESIGN.md §13), and the
+# forensics subcommand's attribution cross-check (every sampled request's
+# spans sum bit-exactly to its latency) must hold for every grid point.
+VLACNN_THREADS=1 ./build/tools/vlacnn-capacity --net vgg16 --load 20rps \
+  --slo 4000ms --requests 500 --reqtrace "$CAP_DIR/rt-t1.jsonl" >/dev/null
+VLACNN_THREADS=8 ./build/tools/vlacnn-capacity --net vgg16 --load 20rps \
+  --slo 4000ms --requests 500 --reqtrace "$CAP_DIR/rt-t8.jsonl" >/dev/null
+cmp "$CAP_DIR/rt-t1.jsonl" "$CAP_DIR/rt-t8.jsonl"
+./build/tools/vlacnn-report requests "$CAP_DIR/rt-t1.jsonl" --top 3 \
+  --waterfall 0 >/dev/null
+echo "reqtrace JSONL byte-identical at VLACNN_THREADS=1 and 8"
+
+echo "== cli: exit-code contract (usage=2, runtime=1) ========================"
+scripts/test_cli_exit_codes.sh build
+
 echo "== obs: disabled-path overhead budget (<2% or sub-noise) ==============="
 # bench_obs_overhead self-gates both hot loops (conv inner loop + serving
 # event loop): exit 1 when the no-obs/disabled median gap exceeds 2% AND the

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# CLI exit-code contract gate for vlacnn-capacity and vlacnn-report:
+#
+#   0 = success
+#   1 = semantic/runtime failure (infeasible SLO, failed regression gate,
+#       unreadable input)
+#   2 = usage error (unknown flag/subcommand, malformed value), with the
+#       usage text on stderr — never stdout
+#
+#   scripts/test_cli_exit_codes.sh [build-dir]    # default build dir: build/
+#
+# The infeasible-capacity and failed-diff cases exercise real runs: the first
+# rides the committed sweep cache (results/sweep_cache.csv) so it stays fast,
+# the second diffs the committed report baseline against a copy with one
+# cycles entry inflated ~10x, which must trip the 2% budget.
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+CAP="$BUILD_DIR/tools/vlacnn-capacity"
+REP="$BUILD_DIR/tools/vlacnn-report"
+TMP="$BUILD_DIR/cli-exit-gate"
+rm -rf "$TMP"; mkdir -p "$TMP"
+fail=0
+
+# expect <want-code> <check-usage:yes|no> <label> -- cmd args...
+# check-usage=yes additionally asserts the usage text landed on stderr only.
+expect() {
+  local want="$1" usage="$2" label="$3"; shift 4
+  local out="$TMP/out" err="$TMP/err" got=0
+  "$@" >"$out" 2>"$err" || got=$?
+  if [ "$got" != "$want" ]; then
+    echo "FAIL: $label: exit $got, want $want" >&2
+    sed 's/^/  stderr: /' "$err" >&2
+    fail=1
+    return
+  fi
+  if [ "$usage" = yes ]; then
+    if ! grep -q '^usage:' "$err"; then
+      echo "FAIL: $label: exit $want but no usage text on stderr" >&2
+      fail=1
+      return
+    fi
+    if grep -q '^usage:' "$out"; then
+      echo "FAIL: $label: usage text leaked to stdout" >&2
+      fail=1
+      return
+    fi
+  fi
+  echo "ok: $label (exit $got)"
+}
+
+# -- vlacnn-capacity: usage errors exit 2 with usage on stderr ---------------
+expect 2 yes "capacity: unknown flag"        -- "$CAP" --bogus
+expect 2 yes "capacity: malformed --load"    -- "$CAP" --load nope
+expect 2 yes "capacity: unknown --net"       -- "$CAP" --net martian
+expect 2 yes "capacity: unknown --dispatch"  -- "$CAP" --dispatch psychic
+expect 2 yes "capacity: flag missing value"  -- "$CAP" --slo
+
+# -- vlacnn-capacity: infeasible SLO exits 1 (not 2) -------------------------
+# 1e6 req/s against a 1 ms deadline: no grid point survives. Warm cache makes
+# this a real (sub-minute) run, and stderr must NOT carry the usage text.
+expect 1 no "capacity: infeasible SLO" \
+  -- "$CAP" --net vgg16 --load 1000000rps --slo 1ms --requests 100
+
+# -- vlacnn-report: usage errors exit 2 with usage on stderr -----------------
+expect 2 yes "report: no subcommand"         -- "$REP"
+expect 2 yes "report: unknown subcommand"    -- "$REP" frobnicate x.json
+expect 2 yes "report: unknown option"        -- "$REP" summarize a.json --huh
+expect 2 yes "report: malformed --top"       -- "$REP" requests /dev/null --top bogus
+expect 2 yes "report: malformed --budget"    -- "$REP" diff a.json b.json --budget-pct -5
+
+# -- vlacnn-report: runtime failures exit 1 (not 2) --------------------------
+expect 1 no "report: unreadable summarize input" -- "$REP" summarize "$TMP/nope.json"
+expect 1 no "report: unreadable requests input"  -- "$REP" requests "$TMP/nope.jsonl"
+
+# Failed regression gate: inflate the first per-entry cycles figure ~10x and
+# diff against the pristine baseline with the ci.sh budget.
+sed '0,/"cycles": /s//"cycles": 9/' BENCH_report_baseline.json \
+  > "$TMP/regressed.json"
+if cmp -s BENCH_report_baseline.json "$TMP/regressed.json"; then
+  echo "FAIL: sed produced no regression to diff against" >&2
+  fail=1
+fi
+expect 1 no "report: failed regression gate" \
+  -- "$REP" diff BENCH_report_baseline.json "$TMP/regressed.json" --budget-pct 2
+expect 0 no "report: clean diff passes" \
+  -- "$REP" diff BENCH_report_baseline.json BENCH_report_baseline.json \
+     --budget-pct 2
+
+if [ "$fail" != 0 ]; then
+  echo "test_cli_exit_codes: FAILED" >&2
+  exit 1
+fi
+echo "test_cli_exit_codes: all exit-code contracts hold"

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "algos/conv_args.h"
 #include "ml/dataset.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "report/collector.h"
 
 namespace vlacnn::dispatch {
@@ -136,6 +139,7 @@ double LearnedDispatcher::service_cycles(int batch) {
   }
   ++stats_.batches;
   stats_.images += static_cast<std::uint64_t>(batch);
+  last_explored_.clear();
 
   double per_image = 0;
   for (std::size_t l = 0; l < plan_.size(); ++l) {
@@ -151,6 +155,7 @@ double LearnedDispatcher::service_cycles(int batch) {
       choice = static_cast<std::size_t>(untried[pick]);
       untried.erase(untried.begin() + static_cast<std::ptrdiff_t>(pick));
       ++stats_.explorations;
+      last_explored_.emplace_back(l, choice);
       // Greedy adoption: keep the best algorithm observed so far. Ties keep
       // the incumbent, matching the oracle's lowest-index reduction only
       // once the true argmin has been observed — which is the point.
@@ -171,8 +176,36 @@ double LearnedDispatcher::service_cycles(int batch) {
   // Same batching economics as serving::batch_cost_model: the first image of
   // a batch streams the conv weights from DRAM, later images reuse them, and
   // the amortizable share is clamped to half the per-image cost.
+  last_per_image_ = per_image;
   const double amortizable = std::min(weight_cycles_, 0.5 * per_image);
   return per_image + (b - 1.0) * (per_image - amortizable) + selector;
+}
+
+void LearnedDispatcher::trace_annotations(std::vector<obs::TraceNote>& out) {
+  const auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  out.push_back({"dispatch", "learned"});
+  std::string plan;
+  for (std::size_t l = 0; l < plan_.size(); ++l) {
+    if (!plan.empty()) plan += ',';
+    plan += to_string(kAllAlgos[static_cast<std::size_t>(plan_[l])]);
+  }
+  out.push_back({"plan", std::move(plan)});
+  std::string explored;
+  for (const auto& [l, a] : last_explored_) {
+    if (!explored.empty()) explored += ',';
+    explored += "conv" + std::to_string(l + 1) + ':' + to_string(kAllAlgos[a]);
+  }
+  out.push_back({"explore", explored.empty() ? "none" : std::move(explored)});
+  out.push_back({"converged", converged() ? "true" : "false"});
+  out.push_back({"conv_cycles_per_image", num(last_per_image_)});
+  out.push_back({"oracle_cycles_per_image", num(oracle_per_image_)});
+  out.push_back(
+      {"selector_cycles_per_image",
+       num(static_cast<double>(stats_.layers) * cfg_.dispatch_cycles_per_layer)});
 }
 
 namespace {
@@ -192,6 +225,10 @@ class ReportingLearnedModel final : public serving::ServiceModel {
 
   double service_cycles(int batch) override {
     return d_->service_cycles(batch);
+  }
+
+  void trace_annotations(std::vector<obs::TraceNote>& out) override {
+    d_->trace_annotations(out);
   }
 
   ~ReportingLearnedModel() override {

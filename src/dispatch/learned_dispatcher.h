@@ -103,6 +103,13 @@ class LearnedDispatcher final : public serving::ServiceModel {
   /// selector's per-image, per-layer overhead. Advances the bandit state.
   double service_cycles(int batch) override;
 
+  /// Request-trace notes for the most recent service_cycles() call: the plan
+  /// served (comma-joined algos), which layers this batch explored (the
+  /// exploration flag), convergence state, and the predicted-vs-oracle
+  /// per-image conv cycles plus the selector charge — everything a trace
+  /// needs to blame a slow request on a dispatch decision.
+  void trace_annotations(std::vector<obs::TraceNote>& out) override;
+
   const DispatchStats& stats() const { return stats_; }
 
   /// Current plan as indices into kAllAlgos.
@@ -122,6 +129,10 @@ class LearnedDispatcher final : public serving::ServiceModel {
   std::vector<int> plan_;           ///< best algo observed so far, per layer
   std::vector<std::vector<int>> untried_;  ///< applicable-but-unobserved algos
   DispatchStats stats_;
+  /// Most recent batch, for trace_annotations: per-image conv cycles of the
+  /// choices actually served, and the (layer, algo) exploration picks.
+  double last_per_image_ = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> last_explored_;
 };
 
 /// A ServiceModelFactory for CapacityPlanner::evaluate_grid: each grid point

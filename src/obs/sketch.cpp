@@ -32,6 +32,51 @@ void QuantileSketch::observe(double v) {
   ++count_;
 }
 
+void QuantileSketch::observe(double v, std::uint64_t exemplar_id) {
+  observe(v);
+  if (!(v > 0)) return;  // the exact-zero bucket carries no exemplar
+  SketchExemplar& e = exemplars_[bucket_index(v)];
+  // First write (value 0 < any v > 0), larger value, or equal value with a
+  // lower id — one deterministic winner per bucket, insertion-order-free.
+  if (v > e.value || (v == e.value && exemplar_id < e.id)) {
+    e.value = v;
+    e.id = exemplar_id;
+  }
+}
+
+std::vector<std::pair<double, SketchExemplar>> QuantileSketch::tail_exemplars(
+    double q) const {
+  std::vector<std::pair<double, SketchExemplar>> out;
+  if (count_ == 0 || exemplars_.empty()) return out;
+  if (!(q > 0)) q = 1e-9;
+  if (q > 1) q = 1;
+  // Same nearest-rank arithmetic as quantile(): the tail starts at the bucket
+  // holding the ceil(q * n)-th smallest observation.
+  const double scaled = q * static_cast<double>(count_);
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(scaled * (1.0 - 1e-12)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  if (rank <= zero_count_) return out;  // tail starts at the exact-zero bucket
+  std::uint64_t seen = zero_count_;
+  int tail_from = 0;
+  bool found = false;
+  for (const auto& [idx, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) {
+      tail_from = idx;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return out;  // unreachable: counts agree
+  for (auto it = exemplars_.lower_bound(tail_from); it != exemplars_.end();
+       ++it) {
+    out.emplace_back(bucket_upper(it->first), it->second);
+  }
+  return out;
+}
+
 double QuantileSketch::quantile(double q) const {
   if (count_ == 0) return 0;
   if (!(q > 0)) q = 1e-9;
@@ -59,12 +104,17 @@ void QuantileSketch::merge(const QuantileSketch& other) {
   zero_count_ += other.zero_count_;
   count_ += other.count_;
   for (const auto& [idx, n] : other.buckets_) buckets_[idx] += n;
+  for (const auto& [idx, oe] : other.exemplars_) {
+    SketchExemplar& e = exemplars_[idx];
+    if (oe.value > e.value || (oe.value == e.value && oe.id < e.id)) e = oe;
+  }
 }
 
 void QuantileSketch::clear() {
   zero_count_ = 0;
   count_ = 0;
   buckets_.clear();
+  exemplars_.clear();
 }
 
 SlidingQuantile::SlidingQuantile(std::size_t window_intervals,

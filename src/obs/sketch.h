@@ -19,8 +19,19 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <utility>
+#include <vector>
 
 namespace vlacnn::obs {
+
+/// An exemplar: the concrete observation a bucket remembers so aggregate
+/// quantiles can be traced back to an identifiable event (the request-trace
+/// layer attaches trace ids to latency buckets this way). Deterministic: a
+/// bucket keeps its largest value, ties keep the lowest id.
+struct SketchExemplar {
+  double value = 0;
+  std::uint64_t id = 0;
+};
 
 /// Log-bucket quantile sketch: value v > 0 lands in bucket
 /// ceil(log(v) / log(gamma)) with gamma = (1 + e) / (1 - e), so every bucket's
@@ -33,6 +44,12 @@ class QuantileSketch {
   explicit QuantileSketch(double relative_error = 0.01);
 
   void observe(double v);
+
+  /// observe(v) plus exemplar tracking: the bucket v lands in remembers the
+  /// (value, id) with the largest value (ties keep the lowest id), so a tail
+  /// bucket can name the single slowest event it holds. Values clamped to the
+  /// exact-zero bucket carry no exemplar.
+  void observe(double v, std::uint64_t exemplar_id);
   std::uint64_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
   double relative_error() const { return rel_err_; }
@@ -42,7 +59,9 @@ class QuantileSketch {
   /// empty or when the selected observation is the exact-zero bucket.
   double quantile(double q) const;
 
-  /// Fold another sketch (same relative_error) into this one.
+  /// Fold another sketch (same relative_error) into this one. Counts add;
+  /// exemplars keep the larger value per bucket (ties keep the lowest id), so
+  /// a merge answers exactly what single-shot insertion of both streams would.
   void merge(const QuantileSketch& other);
 
   void clear();
@@ -52,6 +71,19 @@ class QuantileSketch {
   int bucket_index(double v) const;
   double bucket_upper(int index) const;
 
+  /// Every bucket's remembered exemplar (buckets observed without an id are
+  /// absent), keyed by bucket index — ascending value order.
+  const std::map<int, SketchExemplar>& exemplar_buckets() const {
+    return exemplars_;
+  }
+
+  /// Exemplars of the tail: every remembered exemplar whose bucket holds
+  /// observations at or above the nearest-rank q-quantile, as
+  /// (bucket_upper, exemplar) pairs in ascending bucket order. Empty when the
+  /// sketch is empty, q selects the exact-zero bucket, or no tail bucket was
+  /// observed with an id.
+  std::vector<std::pair<double, SketchExemplar>> tail_exemplars(double q) const;
+
  private:
   double rel_err_;
   double gamma_;
@@ -59,6 +91,7 @@ class QuantileSketch {
   std::uint64_t zero_count_ = 0;
   std::uint64_t count_ = 0;
   std::map<int, std::uint64_t> buckets_;
+  std::map<int, SketchExemplar> exemplars_;
 };
 
 /// Rolling quantiles over the last `window_intervals` timeline intervals: the

@@ -9,8 +9,10 @@
 #include <stdexcept>
 
 #include "common/thread_pool.h"
+#include "algos/conv_args.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "report/collector.h"
@@ -30,6 +32,44 @@ constexpr std::uint64_t kMaxBatchTraceEvents = 4096;
 /// Simulated cycles -> trace microseconds at the repo's 2 GHz presentation
 /// clock, so a Perfetto timeline of batches reads in real service time.
 constexpr double kTraceCyclesPerUs = 2000.0;
+
+/// Per-conv-layer (label, cycles-per-image) weights for the request tracer's
+/// service-span segmentation at one grid point: the per-layer cycles of the
+/// plan this point actually serves (the fixed algorithm with the gemm6
+/// fallback, or the per-layer-optimal plan). Labels are "conv<1-based>/<algo>"
+/// so a waterfall names both the layer and the algorithm that ran it. Warm
+/// sweep cache ⇒ pure lookups.
+std::vector<std::pair<std::string, double>> reqtrace_service_layers(
+    SweepDriver& driver, const Network& net, std::uint32_t vlen_bits,
+    std::uint64_t l2_slice_bytes, std::optional<Algo> fixed) {
+  const auto table = driver.layer_algo_cycles(net, vlen_bits, l2_slice_bytes);
+  std::vector<Algo> plan;
+  if (fixed.has_value()) {
+    plan.assign(table.size(), *fixed);
+  } else {
+    plan = driver.network_optimal(net, vlen_bits, l2_slice_bytes).plan;
+  }
+  const auto algo_index = [](Algo a) {
+    for (std::size_t i = 0; i < kAllAlgos.size(); ++i) {
+      if (kAllAlgos[i] == a) return i;
+    }
+    return std::size_t{0};
+  };
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(table.size());
+  for (std::size_t l = 0; l < table.size(); ++l) {
+    Algo a = l < plan.size() ? plan[l] : Algo::kGemm6;
+    double c = table[l][algo_index(a)];
+    if (std::isnan(c)) {  // fixed algo inapplicable here: the gemm6 fallback
+      a = Algo::kGemm6;
+      c = table[l][algo_index(a)];
+    }
+    char name[32];
+    std::snprintf(name, sizeof name, "conv%zu/%s", l + 1, to_string(a));
+    out.emplace_back(name, std::isnan(c) ? 0.0 : c);
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -53,6 +93,8 @@ BatchCostModel batch_cost_model(SweepDriver& driver, const Network& net,
   const double amortizable = std::min(weight_cycles, 0.5 * per_image);
   return BatchCostModel{per_image, per_image - amortizable};
 }
+
+void ServiceModel::trace_annotations(std::vector<obs::TraceNote>&) {}
 
 double conv_weight_bytes(const Network& net) {
   double bytes = 0;
@@ -173,10 +215,12 @@ ServingStats run_request_loop(const RequestSimConfig& cfg,
   struct Queued {
     double arrival;
     double idle_at_arrival;
+    std::uint64_t seq;  ///< 1-based offered-arrival order = trace id
   };
   struct Member {
     double arrival;
     double formation_wait;  ///< measured at dispatch, clamped to [0, wait]
+    std::uint64_t seq;
   };
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<InFlight>>
       busy;
@@ -206,6 +250,11 @@ ServingStats run_request_loop(const RequestSimConfig& cfg,
   obs::Tracer* tracer = nullptr;
   obs::TimelineRecorder* rec = nullptr;
   std::unique_ptr<obs::TimelineRecorder> owned_rec;
+  obs::RequestTraceRecorder* rrec = nullptr;
+  std::unique_ptr<obs::RequestTraceRecorder> owned_rrec;
+  // Dispatch annotations captured per instance at dispatch time, attached to
+  // every member of the batch at completion. Sized only when tracing.
+  std::vector<std::vector<obs::TraceNote>> batch_notes;
   if constexpr (kObs) {
     metrics = obs::metrics_enabled();
     if (metrics) {
@@ -221,6 +270,15 @@ ServingStats run_request_loop(const RequestSimConfig& cfg,
       owned_rec = std::make_unique<obs::TimelineRecorder>(
           obs::default_timeline_config(cfg.instances, cfg.slo_cycles));
       rec = owned_rec.get();
+    }
+    rrec = cfg.reqtrace;
+    if (rrec == nullptr && obs::reqtrace_enabled()) {
+      owned_rrec = std::make_unique<obs::RequestTraceRecorder>(
+          obs::default_reqtrace_config(cfg.slo_cycles));
+      rrec = owned_rrec.get();
+    }
+    if (rrec != nullptr) {
+      batch_notes.resize(static_cast<std::size_t>(cfg.instances));
     }
   }
   std::uint64_t traced_batches = 0;
@@ -253,7 +311,7 @@ ServingStats run_request_loop(const RequestSimConfig& cfg,
         double fw = idle_time - q.idle_at_arrival;
         if (fw < 0) fw = 0;
         if (fw > wait) fw = wait;
-        members.push_back({q.arrival, fw});
+        members.push_back({q.arrival, fw, q.seq});
         queue.pop_front();
       }
       batch_dispatch[static_cast<std::size_t>(inst)] = now;
@@ -272,6 +330,13 @@ ServingStats run_request_loop(const RequestSimConfig& cfg,
       dispatched = true;
       if constexpr (kObs) {
         if (rec != nullptr) rec->on_dispatch(now, n);
+        if (rrec != nullptr) {
+          // Ask the service model for this batch's decision notes now, while
+          // its "most recent call" state is this dispatch.
+          auto& notes = batch_notes[static_cast<std::size_t>(inst)];
+          notes.clear();
+          if (cfg.service != nullptr) cfg.service->trace_annotations(notes);
+        }
         if (tracer->enabled() && traced_batches < kMaxBatchTraceEvents) {
           // Trace timestamps are *simulated* time, so the file renders the
           // serving schedule itself, not the wall clock of the simulator.
@@ -332,6 +397,12 @@ ServingStats run_request_loop(const RequestSimConfig& cfg,
         }
         if constexpr (kObs) {
           if (rec != nullptr) rec->on_completion(now, lat, within);
+          if (rrec != nullptr) {
+            rrec->on_completion(m.seq, m.arrival, dispatched_at, now, qw, fw,
+                                service_c, within,
+                                static_cast<int>(batch_members[fi].size()),
+                                f.instance, batch_notes[fi]);
+          }
           if (metrics) {
             lat_hist->observe(
                 static_cast<std::uint64_t>(std::llround(std::max(lat, 0.0))));
@@ -353,10 +424,11 @@ ServingStats run_request_loop(const RequestSimConfig& cfg,
         ++s.dropped;
         if constexpr (kObs) {
           if (rec != nullptr) rec->on_drop(now);
+          if (rrec != nullptr) rrec->on_drop(s.offered, now);
         }
         arrivals.on_completion(now);  // a rejection is still a response
       } else {
-        queue.push_back({ta, idle_time});
+        queue.push_back({ta, idle_time, s.offered});
         if constexpr (kObs) {
           if (rec != nullptr) rec->on_arrival(now);
         }
@@ -428,6 +500,14 @@ ServingStats run_request_loop(const RequestSimConfig& cfg,
                                     : cfg.timeline_label;
       sink.record(label, owned_rec->to_jsonl());
     }
+    if (rrec != nullptr) rrec->finish();
+    if (owned_rrec != nullptr) {
+      obs::ReqTraceSink& rsink = obs::ReqTraceSink::global();
+      const std::string rlabel = cfg.reqtrace_label.empty()
+                                     ? rsink.next_auto_label()
+                                     : cfg.reqtrace_label;
+      rsink.record(rlabel, owned_rrec->to_jsonl());
+    }
   }
   return s;
 }
@@ -487,17 +567,34 @@ CapacityCandidate CapacityPlanner::simulate_point(const Network& net,
     rc.timeline = rec.get();
   }
 
+  // Same ownership story for the request tracer: the planner's recorder gets
+  // the point's per-layer service weights so every sampled trace carries a
+  // per-layer waterfall, and its sink block gets the grid-point label below.
+  std::unique_ptr<obs::RequestTraceRecorder> rtrec;
+  if (obs::reqtrace_enabled()) {
+    obs::ReqTraceConfig rtc = obs::default_reqtrace_config(rc.slo_cycles);
+    rtc.service_layers = reqtrace_service_layers(
+        *driver_, net, point.vlen_bits, point.l2_slice_bytes(), eval_fixed);
+    rtrec = std::make_unique<obs::RequestTraceRecorder>(rtc);
+    rc.reqtrace = rtrec.get();
+  }
+
   c.stats = simulate_requests(rc, *arrivals, *policy);
   c.meets_slo =
       c.stats.slo_attainment >= q.attainment_target &&
       (q.area_budget_mm2 <= 0 || c.eval.area_mm2 <= q.area_budget_mm2);
 
+  char label[160];
+  std::snprintf(label, sizeof label, "cores%d/vlen%u/l2:%llu/inst%d/%s/%s",
+                point.cores, point.vlen_bits,
+                static_cast<unsigned long long>(point.l2_total_bytes),
+                point.instances, policy->name().c_str(), arrivals->name());
+  if (rtrec != nullptr) {
+    // The loop already called finish(); the same grid-point label keys both
+    // sinks, so the two JSONL files cross-reference by label.
+    obs::ReqTraceSink::global().record(label, rtrec->to_jsonl());
+  }
   if (rec != nullptr) {
-    char label[160];
-    std::snprintf(label, sizeof label, "cores%d/vlen%u/l2:%llu/inst%d/%s/%s",
-                  point.cores, point.vlen_bits,
-                  static_cast<unsigned long long>(point.l2_total_bytes),
-                  point.instances, policy->name().c_str(), arrivals->name());
     obs::TimelineSink::global().record(label, rec->to_jsonl());
     if (report::enabled()) {
       const obs::TimelineAnalysis ta =

@@ -36,6 +36,8 @@ class ThreadPool;
 
 namespace vlacnn::obs {
 class TimelineRecorder;
+class RequestTraceRecorder;
+struct TraceNote;
 }
 
 namespace vlacnn::serving {
@@ -83,6 +85,13 @@ class ServiceModel {
   /// Cycles one instance needs to serve a batch of `batch` images (>= 1).
   /// Must return a positive, finite value.
   virtual double service_cycles(int batch) = 0;
+
+  /// Append key=value notes describing the *most recent* service_cycles()
+  /// decision (chosen plan, exploration state, selector charge...). The
+  /// request tracer (obs/reqtrace.h) attaches them to every request of the
+  /// batch; called at most once per dispatch, and only when a trace recorder
+  /// is active — never on the no-obs path. Default: no notes.
+  virtual void trace_annotations(std::vector<obs::TraceNote>& out);
 };
 
 /// ServiceModel over a fixed BatchCostModel — stateless, the pre-dispatch
@@ -202,6 +211,16 @@ struct RequestSimConfig {
   /// empty — parallel drivers must label; the capacity planner does).
   obs::TimelineRecorder* timeline = nullptr;
   std::string timeline_label;
+
+  /// Request-trace hook (obs/reqtrace.h), same ownership contract as
+  /// `timeline`: a caller-owned recorder is driven by the loop (finish() is
+  /// called; nothing is sunk globally — the capacity planner uses this to
+  /// label blocks by grid point). When null and the VLACNN_REQTRACE knob is
+  /// on, the loop creates its own recorder (default config, no per-layer
+  /// segments) and records the block in ReqTraceSink::global() under
+  /// `reqtrace_label` (auto-sequenced when empty).
+  obs::RequestTraceRecorder* reqtrace = nullptr;
+  std::string reqtrace_label;
 
   /// When set, the loop appends one RequestRecord per *completed* request
   /// (drops produce no record). Not an obs hook: the log is product output

@@ -7,8 +7,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -24,6 +26,7 @@
 #include "common/thread_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/sketch.h"
 #include "obs/trace.h"
 #include "sweep/sweep.h"
 
@@ -351,6 +354,89 @@ TEST(ObsHistogram, QuantileBoundCoversObservations) {
   EXPECT_GE(h.quantile_bound(1.0), 100000u);
 }
 
+// -- DDSketch merge properties ------------------------------------------------
+
+TEST(DDSketchMerge, MergedQuantilesMatchSingleShotWithinErrorBound) {
+  // The merge contract: folding two sketches answers exactly what single-shot
+  // insertion of both streams would, and the single-shot answer itself stays
+  // within the configured relative error of the true nearest-rank value.
+  const double e = 0.01;
+  const double gamma = (1.0 + e) / (1.0 - e);
+  obs::QuantileSketch single(e), left(e), right(e);
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) {
+    // Spread across several decades so many distinct buckets participate.
+    const double v = static_cast<double>(i) * (i % 3 == 0 ? 1000.0 : 1.0);
+    values.push_back(v);
+    single.observe(v);
+    (i % 2 == 0 ? left : right).observe(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), single.count());
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(left.quantile(q), single.quantile(q)) << q;
+    // Nearest rank against the exact sorted data: the sketch answers with the
+    // closing boundary of the true value's bucket, i.e. within one gamma.
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const double truth = values[rank - 1];
+    EXPECT_GE(left.quantile(q), truth * (1.0 - 1e-12)) << q;
+    EXPECT_LE(left.quantile(q), truth * gamma * (1.0 + 1e-12)) << q;
+  }
+}
+
+TEST(DDSketchMerge, EmptyAndSingleBucketEdges) {
+  obs::QuantileSketch a(0.01), b(0.01);
+  a.merge(b);  // empty into empty
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.quantile(0.5), 0.0);
+
+  obs::QuantileSketch full(0.01);
+  full.observe(100.0);
+  const double before = full.quantile(1.0);
+  full.merge(b);  // empty into non-empty: nothing changes
+  EXPECT_EQ(full.count(), 1u);
+  EXPECT_EQ(full.quantile(1.0), before);
+  b.merge(full);  // non-empty into empty adopts the contents
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.quantile(1.0), before);
+
+  // Both sides in one (identical) bucket, including the exact-zero bucket.
+  obs::QuantileSketch z1(0.01), z2(0.01);
+  z1.observe(0.0);
+  z2.observe(-5.0);  // clamped to the zero bucket
+  z1.merge(z2);
+  EXPECT_EQ(z1.count(), 2u);
+  EXPECT_EQ(z1.quantile(1.0), 0.0);
+  obs::QuantileSketch s1(0.01), s2(0.01);
+  s1.observe(100.0);
+  s2.observe(100.0);
+  s1.merge(s2);
+  EXPECT_EQ(s1.count(), 2u);
+  EXPECT_EQ(s1.quantile(0.5), s1.quantile(1.0));  // one bucket answers all q
+}
+
+TEST(DDSketchMerge, FoldsExemplarsLargestValueThenLowestId) {
+  obs::QuantileSketch a(0.01), b(0.01);
+  a.observe(100.0, 7);
+  b.observe(100.0, 3);   // same bucket, same value: the lower id must win
+  b.observe(5000.0, 9);  // a bucket only the right side observed
+  a.merge(b);
+  const auto& ex = a.exemplar_buckets();
+  ASSERT_EQ(ex.size(), 2u);
+  const auto hundred = ex.find(a.bucket_index(100.0));
+  ASSERT_NE(hundred, ex.end());
+  EXPECT_EQ(hundred->second.value, 100.0);
+  EXPECT_EQ(hundred->second.id, 3u);
+  const auto big = ex.find(a.bucket_index(5000.0));
+  ASSERT_NE(big, ex.end());
+  EXPECT_EQ(big->second.id, 9u);
+  // tail_exemplars over the merged sketch reaches both buckets at low q.
+  EXPECT_EQ(a.tail_exemplars(0.01).size(), 2u);
+  EXPECT_EQ(a.tail_exemplars(1.0).size(), 1u);  // only the 5000 bucket
+}
+
 TEST(ObsRegistry, SameNameSameInstrumentAndResetKeepsReferences) {
   obs::Registry reg;
   obs::Counter& a = reg.counter("x");
@@ -423,6 +509,64 @@ TEST(ObsRegistry, ExitReportJsonParsesBack) {
   EXPECT_GE(marker->number, 7.0);
   EXPECT_NE(root.find("gauges"), nullptr);
   EXPECT_NE(root.find("histograms"), nullptr);
+}
+
+TEST(ObsRegistry, ZeroCountHistogramsAndNeverSetGaugesReportClean) {
+  // Degenerate instruments — a histogram that never observed anything and
+  // gauges that were registered but never set — must still produce valid,
+  // NaN-free JSON (an empty histogram's mean is 0/0 if computed naively) and
+  // a finite text report.
+  obs::Registry reg;
+  reg.histogram("zero.hist");
+  reg.gauge("zero.gauge");
+  reg.float_gauge("zero.float");
+  const std::string json = reg.report_json();
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  const JsonValue root = JsonParser(json).parse();
+  const JsonValue* h = root.find("histograms")->find("zero.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->number, 0.0);
+  EXPECT_EQ(h->find("sum")->number, 0.0);
+  EXPECT_TRUE(h->find("buckets")->array.empty());
+  const JsonValue* g = root.find("gauges")->find("zero.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->find("value")->number, 0.0);
+  EXPECT_EQ(g->find("max")->number, 0.0);
+  const JsonValue* fg = root.find("float_gauges")->find("zero.float");
+  ASSERT_NE(fg, nullptr);
+  EXPECT_EQ(fg->number, 0.0);
+  // The text report's empty-histogram mean is 0.0, not NaN.
+  const std::string text = reg.report_text();
+  EXPECT_NE(text.find("count=0 mean=0.0"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+TEST(ObsRegistry, ExitReportJsonCleanWithDegenerateInstruments) {
+  // The VLACNN_METRICS=json exit path with never-touched instruments in the
+  // global registry: the dump still parses and carries them as zeros.
+  ScopedMetrics on(obs::ReportMode::kJson);
+  obs::Registry::global().histogram("exit_zero.hist");
+  obs::Registry::global().gauge("exit_zero.gauge");
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  obs::write_exit_report(f);
+  std::rewind(f);
+  std::string json;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) json.append(buf, n);
+  std::fclose(f);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  const JsonValue root = JsonParser(json).parse();
+  const JsonValue* h = root.find("histograms")->find("exit_zero.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->number, 0.0);
+  EXPECT_TRUE(h->find("buckets")->array.empty());
+  const JsonValue* g = root.find("gauges")->find("exit_zero.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->find("value")->number, 0.0);
 }
 
 TEST(ObsRegistry, ExitReportOffWritesNothing) {

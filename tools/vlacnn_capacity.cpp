@@ -35,6 +35,15 @@
 //                             cadence via VLACNN_TIMELINE_INTERVAL). Inspect
 //                             with `vlacnn-report timeline FILE`. Byte-stable
 //                             across runs and VLACNN_THREADS.
+//   --reqtrace FILE           record per-request traces (tail-sampled; see
+//                             VLACNN_REQTRACE_TOPK / VLACNN_REQTRACE_HEAD)
+//                             per grid point to FILE as JSONL (same as
+//                             VLACNN_REQTRACE=FILE). Inspect with
+//                             `vlacnn-report requests FILE`. Byte-stable
+//                             across runs and VLACNN_THREADS.
+//
+// Exit codes: 0 = a configuration meets the SLO, 1 = infeasible (or another
+// runtime failure), 2 = usage error (bad flag/value; usage goes to stderr).
 //
 // The sweep cache (results/sweep_cache.csv, override REPRO_RESULTS_DIR) makes
 // warm runs fast; a cold run simulates the grid points it needs first.
@@ -51,6 +60,7 @@
 #include "dispatch/learned_dispatcher.h"
 #include "ml/dataset.h"
 #include "obs/metrics.h"
+#include "obs/reqtrace.h"
 #include "obs/timeline.h"
 #include "ml/random_forest.h"
 #include "net/models.h"
@@ -73,7 +83,8 @@ int usage(const char* argv0) {
                "          [--flush-ms F] [--queue N] [--area-budget F]\n"
                "          [--dispatch oracle|learned|fixed:<algo>]\n"
                "          [--dispatch-cycles N] [--json FILE] "
-               "[--timeline FILE]\n",
+               "[--timeline FILE]\n"
+               "          [--reqtrace FILE]\n",
                argv0);
   return 2;
 }
@@ -135,6 +146,9 @@ int main(int argc, char** argv) {
   std::string dispatch_mode = "oracle";
   double dispatch_cycles = 0;  // 0 = default_dispatch_cycles()
 
+  // Parse phase: any failure here is a usage error — message plus usage to
+  // stderr, exit 2. Runtime failures below exit 1 instead (the contract
+  // scripts/test_cli_exit_codes.sh asserts).
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string flag = argv[i];
@@ -174,7 +188,11 @@ int main(int argc, char** argv) {
         json_path = next();
       } else if (flag == "--timeline") {
         vlacnn::obs::set_timeline_path(next());
+      } else if (flag == "--reqtrace") {
+        vlacnn::obs::set_reqtrace_path(next());
       } else {
+        std::fprintf(stderr, "vlacnn-capacity: unknown flag '%s'\n",
+                     flag.c_str());
         return usage(argv[0]);
       }
     }
@@ -192,13 +210,23 @@ int main(int argc, char** argv) {
         q.requests == 0 || q.policy.max_batch < 1) {
       throw std::runtime_error("invalid query parameters");
     }
-
-    Network net = [&] {
-      if (net_name == "vgg16") return make_vgg16(224);
-      if (net_name == "yolo20") return make_yolov3(20, 608);
+    if (net_name != "vgg16" && net_name != "yolo20") {
       throw std::runtime_error("unknown --net '" + net_name +
                                "' (vgg16 or yolo20)");
-    }();
+    }
+    if (dispatch_mode.rfind("fixed:", 0) == 0) {
+      algo_from_string(dispatch_mode.substr(6));  // throws on an unknown algo
+    } else if (dispatch_mode != "oracle" && dispatch_mode != "learned") {
+      throw std::runtime_error("unknown --dispatch '" + dispatch_mode +
+                               "' (oracle, learned, or fixed:<algo>)");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vlacnn-capacity: %s\n", e.what());
+    return usage(argv[0]);
+  }
+
+  try {
+    Network net = net_name == "vgg16" ? make_vgg16(224) : make_yolov3(20, 608);
 
     // When VLACNN_REPORT is set, write <dir>/capacity_plan_<net>.report.json
     // at exit — with --dispatch learned it carries the per-point DispatchCells
@@ -326,9 +354,16 @@ int main(int argc, char** argv) {
                   vlacnn::obs::TimelineSink::global().block_count(),
                   vlacnn::obs::timeline_path().c_str());
     }
+    if (vlacnn::obs::reqtrace_enabled()) {
+      std::printf("reqtrace: %zu run blocks -> %s (written at exit)\n",
+                  vlacnn::obs::ReqTraceSink::global().block_count(),
+                  vlacnn::obs::reqtrace_path().c_str());
+    }
     return best.has_value() ? 0 : 1;
   } catch (const std::exception& e) {
+    // Runtime failure (sweep/simulation/IO): exit 1, same as "no feasible
+    // configuration" — distinct from the usage-error exit 2 above.
     std::fprintf(stderr, "vlacnn-capacity: %s\n", e.what());
-    return 2;
+    return 1;
   }
 }

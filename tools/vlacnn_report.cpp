@@ -16,6 +16,20 @@
 //       Analyze a VLACNN_TIMELINE file: per simulated run, detect the warm-up
 //       transient, summarize the steady-state window and SLO burn-rate, and
 //       tabulate up to N snapshots (default 12, 0 = all).
+//
+//   vlacnn-report requests <reqtrace.jsonl> [--top N] [--waterfall N]
+//       Request forensics over a VLACNN_REQTRACE file: per run, the top-N
+//       slowest sampled requests (default 10), a per-request span waterfall
+//       with a critical-path call for the N slowest (default 3), the sketch's
+//       tail exemplars, and an aggregate blame summary. Every sampled
+//       request's spans are cross-checked bit-exactly against the Sterbenz
+//       attribution ((queue+formation)+service == latency, and the layer
+//       segments folded back-to-front == service); any mismatch exits 1.
+//
+// Exit codes (all subcommands): 0 success, 1 semantic failure (regression
+// over budget, no runs in a file, attribution mismatch, unreadable input),
+// 2 usage error (bad flag or subcommand; usage goes to stderr).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,8 +49,10 @@ int usage(const char* argv0) {
                "usage: %s summarize <report.json>\n"
                "       %s diff <baseline.json> <current.json> "
                "[--budget-pct N] [--wall-budget-pct N]\n"
-               "       %s timeline <timeline.jsonl> [--snapshots N]\n",
-               argv0, argv0, argv0);
+               "       %s timeline <timeline.jsonl> [--snapshots N]\n"
+               "       %s requests <reqtrace.jsonl> [--top N] "
+               "[--waterfall N]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -50,6 +66,12 @@ vlacnn::report::RunReport load(const std::string& path) {
   return vlacnn::report::report_from_json(ss.str());
 }
 
+/// A malformed flag value — exits through the usage path (2), unlike runtime
+/// failures (1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 double pct_arg(const char* flag, const char* value) {
   std::size_t pos = 0;
   double v = 0;
@@ -59,9 +81,8 @@ double pct_arg(const char* flag, const char* value) {
     pos = 0;
   }
   if (pos != std::string(value).size() || v < 0) {
-    throw std::runtime_error(std::string(flag) +
-                             " expects a non-negative number, got '" + value +
-                             "'");
+    throw UsageError(std::string(flag) +
+                     " expects a non-negative number, got '" + value + "'");
   }
   return v;
 }
@@ -200,6 +221,263 @@ int render_timeline(const std::string& path, std::size_t max_snaps) {
   return 0;
 }
 
+// -- request forensics --------------------------------------------------------
+
+/// One sampled request out of a VLACNN_REQTRACE JSONL file.
+struct TraceReq {
+  std::uint64_t id = 0;
+  double arrival = 0, dispatch = 0, completion = 0, latency = 0;
+  double queue_wait = 0, formation_wait = 0, service = 0;
+  int batch = 0, instance = -1;
+  bool dropped = false, within_slo = true;
+  std::string keep;
+  std::vector<std::pair<std::string, double>> layers;  ///< name, cycles
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/// One run block (a grid point, or an unlabeled serial simulation).
+struct TraceRunBlock {
+  std::string label;
+  double slo_cycles = 0;
+  std::uint64_t offered = 0, completed = 0, dropped = 0, violations = 0;
+  std::vector<std::tuple<double, double, std::uint64_t>>
+      exemplars;  ///< bucket_upper, latency, trace id
+  std::vector<TraceReq> requests;
+};
+
+std::vector<TraceRunBlock> load_reqtrace(const std::string& path) {
+  using vlacnn::report::Json;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<TraceRunBlock> runs;
+  std::string line;
+  std::size_t lineno = 0;
+  auto num = [](const Json& j, const char* key) { return j.at(key).num_or(0); };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Json j;
+    try {
+      j = vlacnn::report::parse_json(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " +
+                               e.what());
+    }
+    const std::string type = j.at("type").string;
+    if (type == "run") {
+      runs.emplace_back();
+      runs.back().label = j.at("label").string;
+      continue;
+    }
+    if (runs.empty()) runs.emplace_back();  // recorder-direct file: one run
+    TraceRunBlock& run = runs.back();
+    if (type == "header") {
+      run.slo_cycles = num(j, "slo_cycles");
+      run.offered = static_cast<std::uint64_t>(num(j, "offered"));
+      run.completed = static_cast<std::uint64_t>(num(j, "completed"));
+      run.dropped = static_cast<std::uint64_t>(num(j, "dropped"));
+      run.violations = static_cast<std::uint64_t>(num(j, "violations"));
+    } else if (type == "exemplar") {
+      run.exemplars.emplace_back(
+          num(j, "bucket_upper"), num(j, "latency"),
+          static_cast<std::uint64_t>(num(j, "id")));
+    } else if (type == "request") {
+      TraceReq r;
+      r.id = static_cast<std::uint64_t>(num(j, "id"));
+      r.arrival = num(j, "arrival");
+      r.dispatch = num(j, "dispatch");
+      r.completion = num(j, "completion");
+      r.latency = num(j, "latency");
+      r.queue_wait = num(j, "queue_wait");
+      r.formation_wait = num(j, "formation_wait");
+      r.service = num(j, "service");
+      r.batch = static_cast<int>(num(j, "batch"));
+      r.instance = static_cast<int>(num(j, "instance"));
+      r.dropped = j.at("dropped").boolean;
+      r.within_slo = j.at("within_slo").boolean;
+      r.keep = j.at("keep").string;
+      for (const Json& seg : j.at("layers").array) {
+        r.layers.emplace_back(seg.at("name").string, seg.at("cycles").num_or(0));
+      }
+      for (const Json& note : j.at("notes").array) {
+        r.notes.emplace_back(note.at("k").string, note.at("v").string);
+      }
+      run.requests.push_back(std::move(r));
+    } else {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": unknown line type '" + type + "'");
+    }
+  }
+  return runs;
+}
+
+/// The Sterbenz cross-check the producer promises: spans must reconstitute
+/// the request's latency bit for bit, with the exact evaluation orders the
+/// recorder used. Returns the number of violated identities (0 = exact).
+int attribution_mismatches(const TraceReq& r) {
+  int bad = 0;
+  // Top-level spans fold left-to-right (request_sim.h's attribution).
+  if ((r.queue_wait + r.formation_wait) + r.service !=
+      r.completion - r.arrival) {
+    ++bad;
+  }
+  if (r.latency != r.completion - r.arrival) ++bad;
+  // Layer segments fold back-to-front (obs/reqtrace.h's exact_split chain).
+  if (!r.layers.empty()) {
+    double svc = 0;
+    for (std::size_t i = r.layers.size(); i-- > 0;) {
+      svc = r.layers[i].second + svc;
+    }
+    if (svc != r.service) ++bad;
+  }
+  return bad;
+}
+
+void print_waterfall(const TraceReq& r) {
+  std::printf("  -- trace #%llu: %.6g cycles%s, batch %d on instance %d "
+              "[%s] --\n",
+              static_cast<unsigned long long>(r.id), r.latency,
+              r.within_slo ? "" : " (SLO MISS)", r.batch, r.instance,
+              r.keep.c_str());
+  const struct {
+    const char* name;
+    double cycles;
+  } spans[] = {{"queue_wait", r.queue_wait},
+               {"formation_wait", r.formation_wait},
+               {"service", r.service}};
+  const char* critical = spans[0].name;
+  double critical_cycles = spans[0].cycles;
+  for (const auto& sp : spans) {
+    const double share = r.latency > 0 ? sp.cycles / r.latency : 0;
+    const int bar = static_cast<int>(share * 24.0 + 0.5);
+    std::printf("     %-15s %12.6g  %5.1f%%  %.*s\n", sp.name, sp.cycles,
+                share * 100.0, bar, "########################");
+    if (sp.cycles > critical_cycles) {
+      critical = sp.name;
+      critical_cycles = sp.cycles;
+    }
+  }
+  std::printf("     critical path: %s (%.1f%% of latency)\n", critical,
+              r.latency > 0 ? critical_cycles / r.latency * 100.0 : 0.0);
+  if (!r.layers.empty()) {
+    // The three most expensive layer segments of the service span.
+    std::vector<std::pair<std::string, double>> segs = r.layers;
+    std::stable_sort(segs.begin(), segs.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    std::printf("     hottest layers:");
+    for (std::size_t i = 0; i < segs.size() && i < 3; ++i) {
+      std::printf("%s %s %.4g", i == 0 ? "" : ",", segs[i].first.c_str(),
+                  segs[i].second);
+    }
+    std::printf(" cycles\n");
+  }
+  for (const auto& [k, v] : r.notes) {
+    std::printf("     note %s=%s\n", k.c_str(), v.c_str());
+  }
+}
+
+int render_requests(const std::string& path, std::size_t top_n,
+                    std::size_t waterfall_n) {
+  const std::vector<TraceRunBlock> runs = load_reqtrace(path);
+  if (runs.empty()) {
+    std::printf("%s: no request-trace runs\n", path.c_str());
+    return 1;
+  }
+  std::uint64_t mismatches = 0;
+  for (const TraceRunBlock& run : runs) {
+    std::printf("== %s ==\n",
+                run.label.empty() ? "(unlabeled run)" : run.label.c_str());
+    std::printf("  offered %llu, completed %llu, dropped %llu, "
+                "SLO violations %llu (slo %.4g cycles), sampled %zu\n",
+                static_cast<unsigned long long>(run.offered),
+                static_cast<unsigned long long>(run.completed),
+                static_cast<unsigned long long>(run.dropped),
+                static_cast<unsigned long long>(run.violations),
+                run.slo_cycles, run.requests.size());
+    for (const TraceReq& r : run.requests) {
+      mismatches += static_cast<std::uint64_t>(attribution_mismatches(r));
+    }
+    if (!run.exemplars.empty()) {
+      std::printf("  tail exemplars (p90+ latency buckets):\n");
+      for (const auto& [upper, lat, id] : run.exemplars) {
+        std::printf("    bucket <= %.6g cycles: trace #%llu (%.6g cycles)\n",
+                    upper, static_cast<unsigned long long>(id), lat);
+      }
+    }
+
+    // Slowest-first over sampled completions (drops have zero latency and
+    // their own row in the blame summary).
+    std::vector<const TraceReq*> slow;
+    for (const TraceReq& r : run.requests) {
+      if (!r.dropped) slow.push_back(&r);
+    }
+    std::sort(slow.begin(), slow.end(), [](const TraceReq* a,
+                                           const TraceReq* b) {
+      return a->latency != b->latency ? a->latency > b->latency
+                                      : a->id < b->id;
+    });
+    const std::size_t shown = std::min<std::size_t>(slow.size(), top_n);
+    if (shown > 0) {
+      std::printf("  top %zu slowest sampled requests:\n", shown);
+      std::printf("  %4s %8s %12s %12s %12s %12s %5s %4s %4s %s\n", "rank",
+                  "trace", "latency", "queue", "formation", "service", "batch",
+                  "inst", "slo", "keep");
+      for (std::size_t i = 0; i < shown; ++i) {
+        const TraceReq& r = *slow[i];
+        std::printf("  %4zu %8llu %12.6g %12.6g %12.6g %12.6g %5d %4d %4s "
+                    "%s\n",
+                    i + 1, static_cast<unsigned long long>(r.id), r.latency,
+                    r.queue_wait, r.formation_wait, r.service, r.batch,
+                    r.instance, r.within_slo ? "ok" : "MISS", r.keep.c_str());
+      }
+    }
+    for (std::size_t i = 0; i < slow.size() && i < waterfall_n; ++i) {
+      print_waterfall(*slow[i]);
+    }
+
+    // Aggregate blame: where the sampled completions' cycles went, and which
+    // span was each request's largest (its critical path).
+    double qw = 0, fw = 0, svc = 0;
+    std::size_t blame_q = 0, blame_f = 0, blame_s = 0, explored = 0;
+    for (const TraceReq* r : slow) {
+      qw += r->queue_wait;
+      fw += r->formation_wait;
+      svc += r->service;
+      if (r->queue_wait >= r->formation_wait && r->queue_wait >= r->service) {
+        ++blame_q;
+      } else if (r->formation_wait >= r->service) {
+        ++blame_f;
+      } else {
+        ++blame_s;
+      }
+      for (const auto& [k, v] : r->notes) {
+        if (k == "explore" && v != "none") ++explored;
+      }
+    }
+    const double total = qw + fw + svc;
+    if (total > 0) {
+      std::printf("  blame (sampled completions): queue %.1f%%, formation "
+                  "%.1f%%, service %.1f%% of cycles; critical path "
+                  "queue:%zu formation:%zu service:%zu; %zu served by an "
+                  "exploration batch\n",
+                  qw / total * 100.0, fw / total * 100.0, svc / total * 100.0,
+                  blame_q, blame_f, blame_s, explored);
+    }
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "vlacnn-report: %llu span-attribution identities violated — "
+                 "trace spans must sum bit-exactly to completion - arrival\n",
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  std::printf("attribution cross-check: every sampled request's spans sum "
+              "bit-exactly to its latency\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,6 +504,24 @@ int main(int argc, char** argv) {
         }
       }
       return render_timeline(argv[2], max_snaps);
+    }
+    if (cmd == "requests") {
+      if (argc < 3) return usage(argv[0]);
+      std::size_t top_n = 10, waterfall_n = 3;
+      for (int i = 3; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--top" && i + 1 < argc) {
+          top_n = static_cast<std::size_t>(pct_arg("--top", argv[++i]));
+        } else if (flag == "--waterfall" && i + 1 < argc) {
+          waterfall_n =
+              static_cast<std::size_t>(pct_arg("--waterfall", argv[++i]));
+        } else {
+          std::fprintf(stderr, "unknown or incomplete option '%s'\n",
+                       flag.c_str());
+          return usage(argv[0]);
+        }
+      }
+      return render_requests(argv[2], top_n, waterfall_n);
     }
     if (cmd == "summarize") {
       if (argc != 3) return usage(argv[0]);
@@ -255,8 +551,14 @@ int main(int argc, char** argv) {
       return d.ok() ? 0 : 1;
     }
     return usage(argv[0]);
-  } catch (const std::exception& e) {
+  } catch (const UsageError& e) {
     std::fprintf(stderr, "vlacnn-report: %s\n", e.what());
-    return 2;
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    // Runtime failures (unreadable or malformed input) exit 1; only usage
+    // errors exit 2 — the contract scripts/test_cli_exit_codes.sh asserts
+    // for both tools.
+    std::fprintf(stderr, "vlacnn-report: %s\n", e.what());
+    return 1;
   }
 }
