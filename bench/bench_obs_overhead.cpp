@@ -17,8 +17,8 @@
 // for serving) to show what the enabled paths cost.
 //
 // Run from the build tree: ./bench_obs_overhead  (no arguments; ignores
-// VLACNN_METRICS/VLACNN_TRACE/VLACNN_TIMELINE/VLACNN_REQTRACE so a CI
-// environment can't skew the verdict).
+// VLACNN_METRICS/VLACNN_TRACE/VLACNN_TIMELINE/VLACNN_REQTRACE/VLACNN_KERNPROF
+// so a CI environment can't skew the verdict).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -28,6 +28,7 @@
 
 #include "algos/registry.h"
 #include "net/models.h"
+#include "obs/kernprof.h"
 #include "obs/metrics.h"
 #include "obs/reqtrace.h"
 #include "obs/timeline.h"
@@ -58,6 +59,12 @@ std::vector<Point> workload() {
 }
 
 using SimFn = TimingStats (*)(Algo, const ConvLayerDesc&, const SimConfig&);
+
+/// conv_simulate without its kernel-profile out-param, to match SimFn.
+TimingStats conv_simulate_instrumented(Algo a, const ConvLayerDesc& d,
+                                       const SimConfig& c) {
+  return conv_simulate(a, d, c);
+}
 
 double time_once(SimFn fn, const std::vector<Point>& pts,
                  const SimConfig& config, double* sink) {
@@ -91,11 +98,12 @@ Measurement measure(const std::vector<Point>& pts, const SimConfig& config,
   double sink = 0;
   // Warm-up: one untimed pass of each path.
   time_once(&conv_simulate_no_obs, pts, config, &sink);
-  time_once(&conv_simulate, pts, config, &sink);
+  time_once(&conv_simulate_instrumented, pts, config, &sink);
   std::vector<double> base_ms, obs_ms;
   for (int r = 0; r < reps; ++r) {
     base_ms.push_back(time_once(&conv_simulate_no_obs, pts, config, &sink));
-    obs_ms.push_back(time_once(&conv_simulate, pts, config, &sink));
+    obs_ms.push_back(
+        time_once(&conv_simulate_instrumented, pts, config, &sink));
   }
   if (sink == 12345.0) std::printf("(unreachable)\n");  // defeat DCE
   return {spread(base_ms), spread(obs_ms)};
@@ -192,6 +200,7 @@ int main(int argc, char** argv) {
   obs::set_metrics_mode(obs::ReportMode::kOff);
   obs::set_timeline_path("");
   obs::set_reqtrace_path("");
+  obs::set_kernprof_path("");
 
   const std::vector<Point> pts = workload();
   const SimConfig config = make_sim_config(512, 1u << 20);
@@ -225,6 +234,19 @@ int main(int argc, char** argv) {
     std::snprintf(tail, sizeof tail, "   overhead %+.2f%%  (informational)",
                   (on.obs.med / on.base.med - 1.0) * 100.0);
     print_spread("obs enabled (m+t)", on.obs, tail);
+
+    // Informational: the same workload with the simulated PMU attached
+    // (VLACNN_KERNPROF — phase deltas, counter windows, sink recording).
+    const auto kp_path = std::filesystem::temp_directory_path() /
+                         "bench_obs_overhead.kernprof.jsonl";
+    obs::set_kernprof_path(kp_path.string());
+    const Measurement kp = measure(pts, config, kInfoReps);
+    obs::set_kernprof_path("");
+    obs::KernProfSink::global().reset();
+    std::filesystem::remove(kp_path);
+    std::snprintf(tail, sizeof tail, "   overhead %+.2f%%  (informational)",
+                  (kp.obs.med / kp.base.med - 1.0) * 100.0);
+    print_spread("kernprof enabled", kp.obs, tail);
   }
 
   // Two-condition verdict: the budget can only fail when the median gap is

@@ -93,6 +93,24 @@ cmp "$CAP_DIR/rt-t1.jsonl" "$CAP_DIR/rt-t8.jsonl"
   --waterfall 0 >/dev/null
 echo "reqtrace JSONL byte-identical at VLACNN_THREADS=1 and 8"
 
+echo "== kernprof: phase-profile JSONL determinism across thread counts ======"
+# Per-kernel phase profiling over the fig01 grid: the sink writes blocks in
+# sorted label order, so the JSONL must be byte-identical across pool sizes
+# (DESIGN.md §14) — this also covers the warm-cache re-sim path, since the
+# report gate above already filled the results DB for this grid. The profile
+# explorer then gates every block's attribution cross-check (phase cycles
+# fold bit-exactly to the kernel total; exit 1 on any mismatch).
+KP_DIR=build/kernprof-gate
+rm -rf "$KP_DIR"; mkdir -p "$KP_DIR"
+VLACNN_THREADS=1 VLACNN_KERNPROF="$KP_DIR/kp-t1.jsonl" \
+  ./build/bench/bench_fig01_vgg_perlayer >/dev/null
+VLACNN_THREADS=8 VLACNN_KERNPROF="$KP_DIR/kp-t8.jsonl" \
+  ./build/bench/bench_fig01_vgg_perlayer >/dev/null
+cmp "$KP_DIR/kp-t1.jsonl" "$KP_DIR/kp-t8.jsonl"
+./build/tools/vlacnn-report profile "$KP_DIR/kp-t1.jsonl" --windows 4 \
+  >/dev/null
+echo "kernprof JSONL byte-identical at VLACNN_THREADS=1 and 8"
+
 echo "== cli: exit-code contract (usage=2, runtime=1) ========================"
 scripts/test_cli_exit_codes.sh build
 

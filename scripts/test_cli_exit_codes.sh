@@ -69,10 +69,25 @@ expect 2 yes "report: unknown subcommand"    -- "$REP" frobnicate x.json
 expect 2 yes "report: unknown option"        -- "$REP" summarize a.json --huh
 expect 2 yes "report: malformed --top"       -- "$REP" requests /dev/null --top bogus
 expect 2 yes "report: malformed --budget"    -- "$REP" diff a.json b.json --budget-pct -5
+expect 2 yes "report: profile missing file"  -- "$REP" profile
+expect 2 yes "report: malformed --windows"   -- "$REP" profile x.jsonl --windows bogus
+expect 2 yes "report: profile flag no value" -- "$REP" profile x.jsonl --point
 
 # -- vlacnn-report: runtime failures exit 1 (not 2) --------------------------
 expect 1 no "report: unreadable summarize input" -- "$REP" summarize "$TMP/nope.json"
 expect 1 no "report: unreadable requests input"  -- "$REP" requests "$TMP/nope.jsonl"
+expect 1 no "report: unreadable profile input"   -- "$REP" profile "$TMP/nope.jsonl"
+
+# Broken phase partition: the phase cycles fold to 90, the kernel total says
+# 100. The attribution cross-check must flag the block (exit 1, not 2).
+printf '%s\n%s\n%s\n' \
+  '{"type":"run","label":"bad/L00/gemm3/vlen512/l2:1048576/lanes8/int"}' \
+  '{"type":"kernel","net":"bad","layer":0,"algo":"gemm3","vlen_bits":512,"l2_bytes":1048576,"lanes":8,"attach":"int","interval_cycles":1000000,"cycles":100,"compute_cycles":60,"mem_issue_cycles":20,"mem_stall_cycles":15,"scalar_cycles":5,"phase_count":1,"window_count":0}' \
+  '{"type":"phase","name":"im2col","cycles":90,"raw_cycles":90,"compute_cycles":60,"mem_issue_cycles":20,"mem_stall_cycles":5,"scalar_cycles":5,"vec_instructions":10,"vec_elems":160,"avg_vl":16,"flops":320,"l1_accesses":4,"l1_misses":1,"l2_accesses":1,"l2_misses":0,"mem_bytes":64}' \
+  > "$TMP/broken-fold.jsonl"
+expect 1 no "report: profile fold mismatch" -- "$REP" profile "$TMP/broken-fold.jsonl"
+expect 1 no "report: profile point no match" \
+  -- "$REP" profile "$TMP/broken-fold.jsonl" --point nosuchlayer
 
 # Failed regression gate: inflate the first per-entry cycles figure ~10x and
 # diff against the pristine baseline with the ci.sh budget.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "vpu/pmu.h"
+
 namespace vlacnn {
 
 bool direct_uses_wide(const ConvLayerDesc& d, std::uint64_t mvl) {
@@ -27,9 +29,10 @@ void direct_wide(E& eng, const ConvLayerDesc& d, BufView in, BufView w,
   const double work_per_row = static_cast<double>(ow) * d.oc * d.kh * d.kw * d.ic;
   const std::uint64_t rows =
       sample ? sampler.choose(oh, work_per_row) : static_cast<std::uint64_t>(oh);
-  if (sample && rows < static_cast<std::uint64_t>(oh)) {
-    eng.timing()->push_scale(static_cast<double>(oh) / rows);
-  }
+  PmuPhase phase(eng.timing(), "direct-wide");
+  const ScaledRegion scaled(
+      sample && rows < static_cast<std::uint64_t>(oh) ? eng.timing() : nullptr,
+      static_cast<double>(oh) / static_cast<double>(rows));
 
   for (std::uint64_t y = 0; y < rows; ++y) {
     // Valid kernel rows for this output row.
@@ -115,8 +118,6 @@ void direct_wide(E& eng, const ConvLayerDesc& d, BufView in, BufView w,
       oc0 += gvl;
     }
   }
-
-  if (sample && rows < static_cast<std::uint64_t>(oh)) eng.timing()->pop_scale();
 }
 
 /// Width-vectorized strategy (NCHW in/out, OIHW weights — Darknet's native
@@ -142,9 +143,9 @@ void direct_width(E& eng, const ConvLayerDesc& d, BufView in, BufView w,
       static_cast<double>(ow) * d.oc * d.ic * d.kh * d.kw;
   const std::uint64_t rows =
       sample ? sampler.choose(oh, work_per_row) : static_cast<std::uint64_t>(oh);
-  if (sample && rows < static_cast<std::uint64_t>(oh)) {
-    eng.timing()->push_scale(static_cast<double>(oh) / rows);
-  }
+  const ScaledRegion scaled(
+      sample && rows < static_cast<std::uint64_t>(oh) ? eng.timing() : nullptr,
+      static_cast<double>(oh) / static_cast<double>(rows));
 
   auto w_at = [&](int oc, int c, int ky, int kx) {
     return ((static_cast<std::uint64_t>(oc) * d.ic + c) * d.kh + ky) * d.kw +
@@ -181,12 +182,16 @@ void direct_width(E& eng, const ConvLayerDesc& d, BufView in, BufView w,
 
     for (int ocb = 0; ocb < d.oc; ocb += kOcUnroll) {
       const int ocs = std::min(kOcUnroll, d.oc - ocb);
-      for (int x = 0; x < xa; ++x) {
-        for (int u = 0; u < ocs; ++u) scalar_pixel(x, ocb + u);
+      {
+        PmuPhase phase(eng.timing(), "border");
+        for (int x = 0; x < xa; ++x) {
+          for (int u = 0; u < ocs; ++u) scalar_pixel(x, ocb + u);
+        }
+        for (int x = xb; x < ow; ++x) {
+          for (int u = 0; u < ocs; ++u) scalar_pixel(x, ocb + u);
+        }
       }
-      for (int x = xb; x < ow; ++x) {
-        for (int u = 0; u < ocs; ++u) scalar_pixel(x, ocb + u);
-      }
+      PmuPhase phase(eng.timing(), "interior");
       for (int x0 = xa; x0 < xb;) {
         const std::uint64_t gvl = eng.setvl(static_cast<std::uint64_t>(xb - x0));
         Vec acc[kOcUnroll];
@@ -216,8 +221,6 @@ void direct_width(E& eng, const ConvLayerDesc& d, BufView in, BufView w,
       }
     }
   }
-
-  if (sample && rows < static_cast<std::uint64_t>(oh)) eng.timing()->pop_scale();
 }
 
 }  // namespace

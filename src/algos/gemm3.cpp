@@ -17,9 +17,10 @@ void gemm3_kernel(E& eng, std::uint64_t m, std::uint64_t n, std::uint64_t k,
       static_cast<double>(m) * k * static_cast<double>(std::min(n, mvl));
   const std::uint64_t run_panels =
       sample ? sampler.choose(panels, work_per_panel) : panels;
-  if (sample && run_panels < panels) {
-    eng.timing()->push_scale(static_cast<double>(panels) / run_panels);
-  }
+  PmuPhase phase(eng.timing(), "macro-kernel");
+  const ScaledRegion scaled(
+      sample && run_panels < panels ? eng.timing() : nullptr,
+      static_cast<double>(panels) / static_cast<double>(run_panels));
 
   for (std::uint64_t p = 0; p < run_panels; ++p) {
     const std::uint64_t j = p * mvl;
@@ -43,8 +44,6 @@ void gemm3_kernel(E& eng, std::uint64_t m, std::uint64_t n, std::uint64_t k,
       eng.scalar_ops(2 * k);  // loop counter + address bookkeeping
     }
   }
-
-  if (sample && run_panels < panels) eng.timing()->pop_scale();
 }
 
 template <class E>

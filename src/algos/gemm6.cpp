@@ -59,9 +59,9 @@ void gemm6_kernel(E& eng, std::uint64_t m, std::uint64_t n, std::uint64_t k,
       ++run_units;
     }
   }
-  if (sample && run_units < units) {
-    eng.timing()->push_scale(total_work / sampled_work);
-  }
+  const ScaledRegion scaled(
+      sample && run_units < units ? eng.timing() : nullptr,
+      total_work / sampled_work);
 
   for (std::uint64_t unit = 0; unit < run_units; ++unit) {
     const std::uint64_t jj = (unit / kk_blocks) * bn;
@@ -70,17 +70,24 @@ void gemm6_kernel(E& eng, std::uint64_t m, std::uint64_t n, std::uint64_t k,
     const std::uint64_t kb = std::min(bk, k - kk);
 
     // Pack the B block (kb x nb) into contiguous storage.
-    for (std::uint64_t kr = 0; kr < kb; ++kr) {
-      copy_row(eng, b, (kk + kr) * n + jj, pack_b.view, kr * nb, nb);
+    {
+      PmuPhase phase(eng.timing(), "pack-b");
+      for (std::uint64_t kr = 0; kr < kb; ++kr) {
+        copy_row(eng, b, (kk + kr) * n + jj, pack_b.view, kr * nb, nb);
+      }
     }
 
     for (std::uint64_t ii = 0; ii < m; ii += bm) {
       const std::uint64_t mb = std::min(bm, m - ii);
       // Pack the A block (mb x kb).
-      for (std::uint64_t ir = 0; ir < mb; ++ir) {
-        copy_row(eng, a, (ii + ir) * k + kk, pack_a.view, ir * kb, kb);
+      {
+        PmuPhase phase(eng.timing(), "pack-a");
+        for (std::uint64_t ir = 0; ir < mb; ++ir) {
+          copy_row(eng, a, (ii + ir) * k + kk, pack_a.view, ir * kb, kb);
+        }
       }
 
+      PmuPhase phase(eng.timing(), "macro-kernel");
       for (std::uint64_t j = 0; j < nb;) {
         const std::uint64_t gvl = eng.setvl(nb - j);
         for (std::uint64_t i = 0; i < mb; i += kGemmUnroll) {
@@ -111,8 +118,6 @@ void gemm6_kernel(E& eng, std::uint64_t m, std::uint64_t n, std::uint64_t k,
       }
     }
   }
-
-  if (sample && run_units < units) eng.timing()->pop_scale();
 }
 
 template <class E>

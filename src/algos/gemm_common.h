@@ -8,6 +8,7 @@
 #include "algos/conv_args.h"
 #include "tensor/conv_desc.h"
 #include "vpu/buffer.h"
+#include "vpu/pmu.h"
 
 namespace vlacnn {
 
@@ -25,9 +26,10 @@ void im2col_engine(E& eng, const ConvLayerDesc& d, BufView in, BufView col,
   const bool sample = !E::computes();
   const std::uint64_t rows_to_run =
       sample ? sampler.choose(k_rows, static_cast<double>(oh) * ow) : k_rows;
-  if (sample && rows_to_run < k_rows) {
-    eng.timing()->push_scale(static_cast<double>(k_rows) / rows_to_run);
-  }
+  PmuPhase phase(eng.timing(), "im2col");
+  const ScaledRegion scaled(
+      sample && rows_to_run < k_rows ? eng.timing() : nullptr,
+      static_cast<double>(k_rows) / static_cast<double>(rows_to_run));
 
   for (std::uint64_t row = 0; row < rows_to_run; ++row) {
     const int c = static_cast<int>(row / (d.kh * d.kw));
@@ -72,8 +74,6 @@ void im2col_engine(E& eng, const ConvLayerDesc& d, BufView in, BufView col,
       eng.scalar_ops(4);  // row bookkeeping
     }
   }
-
-  if (sample && rows_to_run < k_rows) eng.timing()->pop_scale();
 }
 
 }  // namespace vlacnn

@@ -1,14 +1,18 @@
 #include "algos/registry.h"
 
+#include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 #include "algos/direct.h"
 #include "algos/gemm3.h"
 #include "algos/gemm6.h"
 #include "algos/winograd.h"
+#include "obs/kernprof.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "vpu/functional_engine.h"
+#include "vpu/pmu.h"
 #include "vpu/trace_engine.h"
 
 namespace vlacnn {
@@ -63,8 +67,13 @@ std::vector<float> reformat_weights_direct(const ConvLayerDesc& d,
   return out;
 }
 
-TimingStats conv_simulate_no_obs(Algo algo, const ConvLayerDesc& d,
-                                 const SimConfig& config_in) {
+namespace {
+
+/// The shared timing-simulation body. `pmu`, when non-null, is attached to
+/// the TimingModel for the duration of the run (phase annotations + counter
+/// windows); it is pure accounting and never changes the returned stats.
+TimingStats simulate_impl(Algo algo, const ConvLayerDesc& d,
+                          const SimConfig& config_in, Pmu* pmu) {
   if (!algo_applicable(algo, d)) {
     throw std::invalid_argument("conv_simulate: " + std::string(to_string(algo)) +
                                 " not applicable to " + d.to_string());
@@ -73,6 +82,7 @@ TimingStats conv_simulate_no_obs(Algo algo, const ConvLayerDesc& d,
   config.mem.attach = config.vpu.attach;
   MemorySystem mem(config.mem);
   TimingModel timing(config.vpu, &mem, config.timing);
+  timing.set_pmu(pmu);
   TraceEngine eng(config.vpu, &timing);
 
   // Bind order matches conv_functional's per-algorithm order exactly, so a
@@ -112,15 +122,113 @@ TimingStats conv_simulate_no_obs(Algo algo, const ConvLayerDesc& d,
   return timing.stats();
 }
 
+/// Grid-point label for the kernel-profile sink, matching report::entry_key
+/// when the point carries a (net, layer) identity; shape-string fallback
+/// otherwise. Built here rather than via src/report — the algos layer sits
+/// below report in the include order.
+std::string kernprof_label(Algo algo, const ConvLayerDesc& d,
+                           const SimConfig& c) {
+  std::string head;
+  if (!c.net.empty()) {
+    char layer[8];
+    std::snprintf(layer, sizeof layer, "L%02d", c.layer);
+    head = c.net + "/" + layer;
+  } else {
+    head = d.to_string();
+  }
+  return head + "/" + to_string(algo) + "/vlen" +
+         std::to_string(c.vpu.vlen_bits) + "/l2:" +
+         std::to_string(c.mem.l2.size_bytes) + "/lanes" +
+         std::to_string(c.vpu.lanes) + "/" +
+         (c.vpu.attach == VpuAttach::kIntegratedL1 ? "int" : "dec");
+}
+
+/// Convert a finalized PMU into the obs-layer profile record.
+obs::KernProfRun kernprof_run_from_pmu(const Pmu& pmu, Algo algo,
+                                       const ConvLayerDesc& d,
+                                       const SimConfig& c,
+                                       const TimingStats& stats) {
+  obs::KernProfRun run;
+  run.label = kernprof_label(algo, d, c);
+  run.net = c.net;
+  run.layer = c.layer;
+  run.algo = to_string(algo);
+  run.vlen_bits = c.vpu.vlen_bits;
+  run.l2_bytes = c.mem.l2.size_bytes;
+  run.lanes = c.vpu.lanes;
+  run.attach = c.vpu.attach == VpuAttach::kIntegratedL1 ? "int" : "dec";
+  run.interval_cycles = pmu.interval_cycles();
+  run.cycles = stats.cycles;
+  run.compute_cycles = stats.compute_cycles;
+  run.mem_issue_cycles = stats.mem_issue_cycles;
+  run.mem_stall_cycles = stats.mem_stall_cycles;
+  run.scalar_cycles = stats.scalar_cycles;
+  for (const PmuPhaseStats& p : pmu.phases()) {
+    obs::KernProfPhase out;
+    out.name = p.name;
+    out.cycles = p.cycles;
+    out.raw_cycles = p.raw_cycles;
+    out.compute_cycles = p.compute_cycles;
+    out.mem_issue_cycles = p.mem_issue_cycles;
+    out.mem_stall_cycles = p.mem_stall_cycles;
+    out.scalar_cycles = p.scalar_cycles;
+    out.vec_instructions = p.vec_instructions;
+    out.vec_elems = p.vec_elems;
+    out.avg_vl = p.avg_vl();
+    out.flops = p.flops;
+    out.l1_accesses = p.first_level_accesses;
+    out.l1_misses = p.first_level_misses;
+    out.l2_accesses = p.l2_accesses;
+    out.l2_misses = p.l2_misses;
+    out.mem_bytes = p.mem_bytes;
+    run.phases.push_back(std::move(out));
+  }
+  for (const PmuWindow& w : pmu.windows()) {
+    obs::KernProfWindow out;
+    out.t_start = w.t_start;
+    out.t_end = w.t_end;
+    out.compute_cycles = w.compute_cycles;
+    out.mem_issue_cycles = w.mem_issue_cycles;
+    out.mem_stall_cycles = w.mem_stall_cycles;
+    out.scalar_cycles = w.scalar_cycles;
+    out.avg_vl = w.avg_vl();
+    out.lane_utilization = w.lane_utilization(c.vpu.lanes);
+    out.l1_miss_rate = w.l1_miss_rate();
+    out.l2_miss_rate = w.l2_miss_rate();
+    out.dram_bytes_per_cycle = w.dram_bytes_per_cycle();
+    out.mem_bytes = w.mem_bytes;
+    run.windows.push_back(out);
+  }
+  return run;
+}
+
+}  // namespace
+
+TimingStats conv_simulate_no_obs(Algo algo, const ConvLayerDesc& d,
+                                 const SimConfig& config) {
+  return simulate_impl(algo, d, config, nullptr);
+}
+
 TimingStats conv_simulate(Algo algo, const ConvLayerDesc& d,
-                          const SimConfig& config) {
+                          const SimConfig& config, obs::KernProfRun* profile) {
   obs::Span span("conv_simulate");
   if (span.active()) {
     span.arg("algo", to_string(algo));
     span.arg("layer", d.to_string());
     span.arg("vlen", std::to_string(config.vpu.vlen_bits));
   }
-  const TimingStats stats = conv_simulate_no_obs(algo, d, config);
+  TimingStats stats;
+  if (obs::kernprof_enabled()) {
+    Pmu pmu(obs::kernprof_interval_cycles(),
+            obs::kernprof_interval_overridden());
+    stats = simulate_impl(algo, d, config, &pmu);
+    pmu.finalize(stats);
+    obs::KernProfRun run = kernprof_run_from_pmu(pmu, algo, d, config, stats);
+    obs::KernProfSink::global().record(run.label, run.to_jsonl());
+    if (profile != nullptr) *profile = std::move(run);
+  } else {
+    stats = simulate_impl(algo, d, config, nullptr);
+  }
   if (obs::metrics_enabled()) {
     // Simulated cycles per point; the matching host cost lands in the
     // span.conv_simulate.us histogram, so the report shows both sides of the

@@ -9,6 +9,7 @@
 // (im2col, Winograd input/output transforms) are charged. See DESIGN.md.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "algos/conv_args.h"
@@ -17,6 +18,10 @@
 #include "tensor/tensor.h"
 #include "vpu/timing_model.h"
 #include "vpu/vpu_config.h"
+
+namespace vlacnn::obs {
+struct KernProfRun;
+}  // namespace vlacnn::obs
 
 namespace vlacnn {
 
@@ -27,6 +32,12 @@ struct SimConfig {
   TimingConfig timing{};
   Sampler sampler{};
   Gemm6Blocks blocks{};
+  /// Grid-point identity for kernel-profile labeling (DESIGN.md §14). Empty
+  /// net means "not part of a network sweep"; the profile label then falls
+  /// back to the layer's shape string. Purely observational — no effect on
+  /// simulated cycles.
+  std::string net;
+  int layer = -1;
 };
 
 /// Convenience constructor for the sweep grid: vector length (bits), L2 size
@@ -39,8 +50,13 @@ SimConfig make_sim_config(std::uint32_t vlen_bits, std::uint64_t l2_bytes,
 /// (every figure in the papers reports per-layer numbers). Throws if the
 /// algorithm is not applicable to the layer. Emits a "conv_simulate" obs span
 /// and per-point cycle/host-time histograms when observability is on.
+/// When VLACNN_KERNPROF is set, a simulated PMU rides along (vpu/pmu.h): the
+/// per-phase attribution and counter windows are recorded to the process-wide
+/// KernProfSink under the grid-point label, and copied to `profile` when the
+/// caller passes one (the PMU never changes the returned stats).
 TimingStats conv_simulate(Algo algo, const ConvLayerDesc& desc,
-                          const SimConfig& config);
+                          const SimConfig& config,
+                          obs::KernProfRun* profile = nullptr);
 
 /// conv_simulate minus the observability hooks: the no-obs baseline that
 /// bench_obs_overhead measures the disabled-path cost against. Numerically

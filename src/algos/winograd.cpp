@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "vpu/pmu.h"
 #include "wino/transforms.h"
 
 namespace vlacnn {
@@ -121,9 +122,10 @@ void conv_winograd(E& eng, const ConvLayerDesc& d, BufView in, BufView u,
   {
     const double work = static_cast<double>(d.ic) * kSlots * 8;
     const std::uint64_t run = sample ? sampler.choose(tiles, work) : tiles;
-    if (sample && run < tiles) {
-      eng.timing()->push_scale(static_cast<double>(tiles) / run);
-    }
+    PmuPhase phase(eng.timing(), "input-transform");
+    const ScaledRegion scaled(
+        sample && run < tiles ? eng.timing() : nullptr,
+        static_cast<double>(tiles) / static_cast<double>(run));
     for (std::uint64_t t = 0; t < run; ++t) {
       const int ty = static_cast<int>(t / tw);
       const int tx = static_cast<int>(t % tw);
@@ -179,7 +181,6 @@ void conv_winograd(E& eng, const ConvLayerDesc& d, BufView in, BufView u,
         eng.scalar_ops(16);
       }
     }
-    if (sample && run < tiles) eng.timing()->pop_scale();
   }
 
   // ---- Phase B: tuple multiplication (64 independent GEMMs) -----------------
@@ -188,9 +189,11 @@ void conv_winograd(E& eng, const ConvLayerDesc& d, BufView in, BufView u,
     const double work = static_cast<double>(d.oc) * d.ic * static_cast<double>(p);
     const std::uint64_t run =
         sample ? sampler.choose(kSlots, work) : static_cast<std::uint64_t>(kSlots);
-    if (sample && run < static_cast<std::uint64_t>(kSlots)) {
-      eng.timing()->push_scale(static_cast<double>(kSlots) / run);
-    }
+    PmuPhase phase(eng.timing(), "tuple-gemm");
+    const ScaledRegion scaled(
+        sample && run < static_cast<std::uint64_t>(kSlots) ? eng.timing()
+                                                           : nullptr,
+        static_cast<double>(kSlots) / static_cast<double>(run));
     for (std::uint64_t s = 0; s < run; ++s) {
       const std::uint64_t v_base = s * static_cast<std::uint64_t>(d.ic) * p;
       const std::uint64_t m_base = s * static_cast<std::uint64_t>(d.oc) * p;
@@ -219,18 +222,16 @@ void conv_winograd(E& eng, const ConvLayerDesc& d, BufView in, BufView u,
         j += gvl;
       }
     }
-    if (sample && run < static_cast<std::uint64_t>(kSlots)) {
-      eng.timing()->pop_scale();
-    }
   }
 
   // ---- Phase C: output transform ---------------------------------------------
   {
     const double work = static_cast<double>(d.oc) * kSlots * 6;
     const std::uint64_t run = sample ? sampler.choose(tiles, work) : tiles;
-    if (sample && run < tiles) {
-      eng.timing()->push_scale(static_cast<double>(tiles) / run);
-    }
+    PmuPhase phase(eng.timing(), "output-transform");
+    const ScaledRegion scaled(
+        sample && run < tiles ? eng.timing() : nullptr,
+        static_cast<double>(tiles) / static_cast<double>(run));
     for (std::uint64_t t = 0; t < run; ++t) {
       const int ty = static_cast<int>(t / tw);
       const int tx = static_cast<int>(t % tw);
@@ -281,7 +282,6 @@ void conv_winograd(E& eng, const ConvLayerDesc& d, BufView in, BufView u,
         eng.scalar_ops(16);
       }
     }
-    if (sample && run < tiles) eng.timing()->pop_scale();
   }
 }
 

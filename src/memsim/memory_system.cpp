@@ -1,11 +1,18 @@
 #include "memsim/memory_system.h"
 
+#include <stdexcept>
+
 #include "obs/metrics.h"
 
 namespace vlacnn {
 
 MemorySystem::MemorySystem(const MemConfig& config)
-    : config_(config), l1_(config.l1), l2_(config.l2), vbuf_(config.vbuf) {}
+    : config_(config), l1_(config.l1), l2_(config.l2), vbuf_(config.vbuf) {
+  // The timing model divides DRAM traffic by this peak bandwidth; zero would
+  // silently turn every bandwidth term into inf.
+  if (!(config.mem_bytes_per_cycle > 0.0))
+    throw std::invalid_argument("memsim: mem_bytes_per_cycle must be positive");
+}
 
 MemorySystem::~MemorySystem() {
   if (!obs::metrics_enabled()) return;

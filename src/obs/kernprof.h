@@ -1,0 +1,159 @@
+// Kernel-profile (simulated PMU) emission for the timing model (DESIGN.md
+// §14): when VLACNN_KERNPROF names an output file, every simulated
+// convolution point attaches a Pmu (vpu/pmu.h) and records one JSONL block
+// here — a "kernel" header with the grid-point identity and aggregate cycle
+// split, one "phase" line per annotated algorithm phase (exact Sterbenz cycle
+// partition + raw counter deltas), and one "window" line per PMU counter
+// window (occupancy split, avg VL, lane utilization, L1/L2 miss rates, DRAM
+// bytes/cycle — the miss-rate *trajectory* over the kernel's lifetime).
+//
+// Knobs, gated like VLACNN_TIMELINE (lazy parse, then one relaxed load):
+//   VLACNN_KERNPROF=<file.jsonl>      enable and name the output file
+//   VLACNN_KERNPROF_INTERVAL=<cycles> window cadence (default 1e6; > 0;
+//                                     malformed values throw). Pinning the
+//                                     interval also disables the PMU's
+//                                     window auto-coarsening.
+//
+// This header is deliberately vpu-agnostic (plain strings and doubles): the
+// obs layer sits at the bottom of the include order, so the simulation driver
+// (algos/registry) converts Pmu state into these records. The process-wide
+// KernProfSink buffers one block per labeled grid point in a sorted map and
+// writes them in label order at exit, so a parallel sweep emits the same
+// bytes as a serial one at any VLACNN_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vlacnn::obs {
+
+// -- env knobs ----------------------------------------------------------------
+
+/// True when VLACNN_KERNPROF names an output file (or a path was set
+/// programmatically). Hot-path gate: one relaxed load after the first call.
+bool kernprof_enabled();
+
+/// The JSONL output path ("" when disabled).
+std::string kernprof_path();
+
+/// Programmatic override of VLACNN_KERNPROF (tests). "" disables collection.
+void set_kernprof_path(const std::string& path);
+
+/// Window cadence from VLACNN_KERNPROF_INTERVAL (default 1e6 simulated
+/// cycles). Throws std::runtime_error on a malformed or non-positive value —
+/// a typo must not silently change a run's trajectory resolution.
+double kernprof_interval_cycles();
+
+/// True when the interval came from the env or a programmatic set — the PMU
+/// then keeps the cadence pinned instead of auto-coarsening.
+bool kernprof_interval_overridden();
+
+/// Programmatic override of the cadence (tests). Must be positive.
+void set_kernprof_interval_cycles(double cycles);
+
+// -- profile records ----------------------------------------------------------
+
+/// One annotated phase of one kernel run. `cycles` is the phase's share of
+/// the exact Sterbenz partition (the per-run phase cycles fold right-to-left
+/// to the kernel's aggregate cycles bit for bit); the remaining fields are
+/// raw counter deltas accumulated over the phase's visits.
+struct KernProfPhase {
+  std::string name;
+  double cycles = 0;
+  double raw_cycles = 0;
+  double compute_cycles = 0;
+  double mem_issue_cycles = 0;
+  double mem_stall_cycles = 0;
+  double scalar_cycles = 0;
+  double vec_instructions = 0;
+  double vec_elems = 0;
+  double avg_vl = 0;
+  double flops = 0;
+  double l1_accesses = 0;
+  double l1_misses = 0;
+  double l2_accesses = 0;
+  double l2_misses = 0;
+  double mem_bytes = 0;
+};
+
+/// One counter window [t_start, t_end) of one kernel run. Derived rates are
+/// precomputed by the driver so the record is renderer-ready.
+struct KernProfWindow {
+  double t_start = 0;
+  double t_end = 0;
+  double compute_cycles = 0;
+  double mem_issue_cycles = 0;
+  double mem_stall_cycles = 0;
+  double scalar_cycles = 0;
+  double avg_vl = 0;
+  double lane_utilization = 0;
+  double l1_miss_rate = 0;
+  double l2_miss_rate = 0;
+  double dram_bytes_per_cycle = 0;
+  double mem_bytes = 0;
+};
+
+/// One simulated grid point's complete kernel profile.
+struct KernProfRun {
+  std::string label;   ///< sink key; the sweep's entry-key grid-point label
+  std::string net;     ///< "" when the point was simulated outside a network
+  int layer = -1;
+  std::string algo;
+  std::uint32_t vlen_bits = 0;
+  std::uint64_t l2_bytes = 0;
+  std::uint32_t lanes = 0;
+  std::string attach;  ///< "int" or "dec"
+  double interval_cycles = 0;  ///< effective window cadence (post-coarsening)
+  double cycles = 0;
+  double compute_cycles = 0;
+  double mem_issue_cycles = 0;
+  double mem_stall_cycles = 0;
+  double scalar_cycles = 0;
+  std::vector<KernProfPhase> phases;
+  std::vector<KernProfWindow> windows;
+
+  /// The JSONL block: one "kernel" line, then "phase" and "window" lines.
+  /// Byte-stable: fixed key order, %.17g numbers.
+  std::string to_jsonl() const;
+};
+
+// -- sink ---------------------------------------------------------------------
+
+/// Process-wide collection point for kernel-profile blocks, keyed by a
+/// deterministic grid-point label. write_file() emits blocks in sorted label
+/// order — the source of the THREADS byte-identity guarantee.
+class KernProfSink {
+ public:
+  static KernProfSink& global();
+
+  /// Buffer one grid point's JSONL block under `label` (last write wins — a
+  /// grid point re-simulated concurrently carries identical bytes by the
+  /// determinism guarantee). Arms the exit write on first use.
+  void record(const std::string& label, std::string jsonl);
+
+  /// "run000001", "run000002", ... for callers without a natural label.
+  /// Deterministic only for serial callers; parallel drivers must label.
+  std::string next_auto_label();
+
+  /// Write every block to kernprof_path() in sorted label order; returns the
+  /// path. Throws when disabled or on I/O failure.
+  std::string write_file();
+
+  std::size_t block_count() const;
+  void reset();  ///< drop all blocks and the auto-label counter (tests)
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> blocks_;
+  std::uint64_t auto_seq_ = 0;
+};
+
+/// Idempotent: registers an atexit hook that writes the sink to
+/// kernprof_path() when enabled and non-empty. Called by
+/// KernProfSink::record(); safe to call directly.
+void arm_kernprof_exit_write();
+
+}  // namespace vlacnn::obs

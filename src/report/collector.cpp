@@ -107,6 +107,12 @@ void Collector::record_timeline(const TimelineCell& cell) {
              cell.policy, cell.arrivals}] = cell;
 }
 
+void Collector::record_phases(const std::string& key,
+                              std::vector<PhaseCell> cells) {
+  std::lock_guard<std::mutex> lk(mu_);
+  phases_[key] = std::move(cells);
+}
+
 RunReport Collector::snapshot(const std::string& tool, double wall_ms,
                               const RooflineParams& p) const {
   RunReport r;
@@ -126,6 +132,9 @@ RunReport Collector::snapshot(const std::string& tool, double wall_ms,
   for (const auto& [key, cell] : dispatch_) r.dispatch.push_back(cell);
   r.timeline.reserve(timeline_.size());
   for (const auto& [key, cell] : timeline_) r.timeline.push_back(cell);
+  for (const auto& [key, cells] : phases_) {
+    r.phases.insert(r.phases.end(), cells.begin(), cells.end());
+  }
   return r;
 }
 
@@ -136,6 +145,7 @@ void Collector::reset() {
   request_sim_.clear();
   dispatch_.clear();
   timeline_.clear();
+  phases_.clear();
 }
 
 std::size_t Collector::row_count() const {

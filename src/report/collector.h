@@ -56,6 +56,13 @@ class Collector {
   /// timeline per simulated grid point, last write wins).
   void record_timeline(const TimelineCell& cell);
 
+  /// Record one grid point's kernel-phase cells (thread-safe; keyed by the
+  /// entry-key string, last write wins — the PMU is deterministic, so
+  /// concurrent writers for a key carry identical cells). The vector keeps
+  /// the kernel's first-seen phase order; cells across keys are emitted in
+  /// key order.
+  void record_phases(const std::string& key, std::vector<PhaseCell> cells);
+
   /// Assemble everything recorded so far into a report.
   RunReport snapshot(const std::string& tool, double wall_ms,
                      const RooflineParams& p = {}) const;
@@ -81,6 +88,7 @@ class Collector {
                       std::string>,
            TimelineCell>
       timeline_;
+  std::map<std::string, std::vector<PhaseCell>> phases_;
 };
 
 /// Called by bench::banner(): when VLACNN_REPORT is set, remembers the run's

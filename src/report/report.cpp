@@ -281,11 +281,29 @@ std::string RunReport::to_json() const {
            "}";
   }
   out += timeline.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseCell& c = phases[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"key\": " + json_quote(c.key);
+    out += ", \"phase\": " + json_quote(c.phase);
+    out += ", \"cycles\": " + json_number(c.cycles);
+    out += ",\n     \"compute_cycles\": " + json_number(c.compute_cycles);
+    out += ", \"mem_issue_cycles\": " + json_number(c.mem_issue_cycles);
+    out += ", \"mem_stall_cycles\": " + json_number(c.mem_stall_cycles);
+    out += ", \"scalar_cycles\": " + json_number(c.scalar_cycles);
+    out += ",\n     \"avg_vl\": " + json_number(c.avg_vl);
+    out += ", \"l1_miss_rate\": " + json_number(c.l1_miss_rate);
+    out += ", \"l2_miss_rate\": " + json_number(c.l2_miss_rate);
+    out += ", \"mem_bytes\": " + json_number(c.mem_bytes) + "}";
+  }
+  out += phases.empty() ? "],\n" : "\n  ],\n";
   out += "  \"totals\": {\"entries\": " + std::to_string(entries.size()) +
          ", \"serving_cells\": " + std::to_string(serving.size()) +
          ", \"request_sim_cells\": " + std::to_string(request_sim.size()) +
          ", \"dispatch_cells\": " + std::to_string(dispatch.size()) +
          ", \"timeline_cells\": " + std::to_string(timeline.size()) +
+         ", \"phase_cells\": " + std::to_string(phases.size()) +
          ", \"cycles\": " + json_number(total_cycles()) + "}\n";
   out += "}\n";
   return out;
@@ -337,6 +355,23 @@ std::string RunReport::to_csv() const {
            fmt("%.17g", a.attainable_flops_per_cycle) + "," +
            fmt("%.17g", a.roofline_efficiency) + "," + to_string(a.bound) +
            "," + a.degenerate + "\n";
+  }
+  // Per-phase cells get their own block below the entry table (a spreadsheet
+  // splits on the blank line); absent entirely when kernprof was off.
+  if (!phases.empty()) {
+    out +=
+        "\nkey,phase,cycles,compute_cycles,mem_issue_cycles,mem_stall_cycles,"
+        "scalar_cycles,avg_vl,l1_miss_rate,l2_miss_rate,mem_bytes\n";
+    for (const PhaseCell& c : phases) {
+      out += c.key + "," + c.phase + "," + fmt("%.17g", c.cycles) + "," +
+             fmt("%.17g", c.compute_cycles) + "," +
+             fmt("%.17g", c.mem_issue_cycles) + "," +
+             fmt("%.17g", c.mem_stall_cycles) + "," +
+             fmt("%.17g", c.scalar_cycles) + "," + fmt("%.17g", c.avg_vl) +
+             "," + fmt("%.17g", c.l1_miss_rate) + "," +
+             fmt("%.17g", c.l2_miss_rate) + "," + fmt("%.17g", c.mem_bytes) +
+             "\n";
+    }
   }
   return out;
 }
@@ -496,6 +531,26 @@ RunReport report_from_json(const std::string& text) {
       r.timeline.push_back(c);
     }
   }
+
+  // Optional: only kernprof-enabled runs emit it.
+  if (const Json* ph = doc.find("phases"); ph != nullptr) {
+    for (const Json& s : ph->array) {
+      PhaseCell c;
+      c.key = str_at(s, "key");
+      c.phase = str_at(s, "phase");
+      c.cycles = num_at(s, "cycles");
+      c.compute_cycles = num_at(s, "compute_cycles");
+      c.mem_issue_cycles = num_at(s, "mem_issue_cycles");
+      c.mem_stall_cycles = num_at(s, "mem_stall_cycles");
+      c.scalar_cycles = num_at(s, "scalar_cycles");
+      c.avg_vl = num_at(s, "avg_vl");
+      // Miss rates serialize as null (NaN) when the phase made no accesses.
+      c.l1_miss_rate = s.at("l1_miss_rate").num_or(kNaN);
+      c.l2_miss_rate = s.at("l2_miss_rate").num_or(kNaN);
+      c.mem_bytes = num_at(s, "mem_bytes");
+      r.phases.push_back(std::move(c));
+    }
+  }
   return r;
 }
 
@@ -648,6 +703,46 @@ std::string summarize(const RunReport& r) {
                     static_cast<unsigned long long>(c.snapshots),
                     c.warmup_cycles, c.steady_p99, c.max_burn_rate,
                     static_cast<unsigned long long>(c.alerts));
+      out += line;
+    }
+  }
+  if (!r.phases.empty()) {
+    std::snprintf(line, sizeof line, "\n%-44s %-16s %12s %6s %6s %6s %6s %6s\n",
+                  "key", "phase", "cycles", "comp%", "mem%", "stall%", "scal%",
+                  "l2miss");
+    out += line;
+    // Per-key totals for the share columns: cells are key-grouped, and the
+    // exact-partition invariant makes the per-key cycle sum the row total.
+    std::map<std::string, double> key_cycles;
+    for (const PhaseCell& c : r.phases) key_cycles[c.key] += c.cycles;
+    for (const PhaseCell& c : r.phases) {
+      const double raw = c.compute_cycles + c.mem_issue_cycles +
+                         c.mem_stall_cycles + c.scalar_cycles;
+      char comp[8] = "   -", mem[8] = "   -", stall[8] = "   -",
+           scal[8] = "   -", l2m[8] = "   -";
+      if (raw > 0) {
+        std::snprintf(comp, sizeof comp, "%5.1f",
+                      100.0 * c.compute_cycles / raw);
+        std::snprintf(mem, sizeof mem, "%5.1f",
+                      100.0 * c.mem_issue_cycles / raw);
+        std::snprintf(stall, sizeof stall, "%5.1f",
+                      100.0 * c.mem_stall_cycles / raw);
+        std::snprintf(scal, sizeof scal, "%5.1f",
+                      100.0 * c.scalar_cycles / raw);
+      }
+      if (std::isfinite(c.l2_miss_rate)) {
+        std::snprintf(l2m, sizeof l2m, "%5.3f", c.l2_miss_rate);
+      }
+      const double total = key_cycles[c.key];
+      char share[16] = "";
+      if (total > 0) {
+        std::snprintf(share, sizeof share, " (%4.1f%%)",
+                      100.0 * c.cycles / total);
+      }
+      std::snprintf(line, sizeof line,
+                    "%-44s %-16s %12.4g %6s %6s %6s %6s %6s%s\n",
+                    c.key.c_str(), c.phase.c_str(), c.cycles, comp, mem, stall,
+                    scal, l2m, share);
       out += line;
     }
   }

@@ -129,6 +129,25 @@ struct DispatchCell {
   double oracle_gap = 0;
 };
 
+/// One kernel-phase slice of a sweep row's cycles, produced by the simulated
+/// PMU (vpu/pmu.h, DESIGN.md §14) when VLACNN_KERNPROF is on. The `cycles`
+/// of all cells sharing a key sum bit-exactly to the owning entry's total
+/// (Sterbenz split discipline); the bucket columns are raw per-phase deltas.
+/// Mirrors obs::KernProfPhase without depending on src/obs at schema level.
+struct PhaseCell {
+  std::string key;    ///< owning grid point, entry_key() format
+  std::string phase;  ///< e.g. "pack-a", "macro-kernel", "(other)"
+  double cycles = 0;  ///< exact slice of the row total
+  double compute_cycles = 0;
+  double mem_issue_cycles = 0;
+  double mem_stall_cycles = 0;
+  double scalar_cycles = 0;
+  double avg_vl = 0;
+  double l1_miss_rate = 0;  ///< NaN when the phase made no L1 accesses
+  double l2_miss_rate = 0;  ///< NaN when the phase made no L2 accesses
+  double mem_bytes = 0;
+};
+
 struct ReportEntry {
   SweepRow row;
   Attribution attr;
@@ -145,6 +164,7 @@ struct RunReport {
   std::vector<RequestSimCell> request_sim;  ///< request-level serving stats
   std::vector<DispatchCell> dispatch;       ///< learned-dispatch outcomes
   std::vector<TimelineCell> timeline;       ///< per-point timeline digests
+  std::vector<PhaseCell> phases;  ///< kernprof per-phase cells, key-sorted
 
   double total_cycles() const;
   std::string to_json() const;

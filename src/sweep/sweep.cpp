@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/kernprof.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -43,6 +44,31 @@ SweepRow row_from_stats(const SweepKey& key, const ConvLayerDesc& desc,
   return r;
 }
 
+/// report::PhaseCell rows from a kernel profile's phases, keyed by the
+/// profile's grid-point label (which matches report::entry_key for sweep
+/// points — the driver fills SimConfig.net/.layer below).
+std::vector<report::PhaseCell> phase_cells(const obs::KernProfRun& prof) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  std::vector<report::PhaseCell> cells;
+  cells.reserve(prof.phases.size());
+  for (const obs::KernProfPhase& p : prof.phases) {
+    report::PhaseCell c;
+    c.key = prof.label;
+    c.phase = p.name;
+    c.cycles = p.cycles;
+    c.compute_cycles = p.compute_cycles;
+    c.mem_issue_cycles = p.mem_issue_cycles;
+    c.mem_stall_cycles = p.mem_stall_cycles;
+    c.scalar_cycles = p.scalar_cycles;
+    c.avg_vl = p.avg_vl;
+    c.l1_miss_rate = p.l1_accesses > 0 ? p.l1_misses / p.l1_accesses : kNaN;
+    c.l2_miss_rate = p.l2_accesses > 0 ? p.l2_misses / p.l2_accesses : kNaN;
+    c.mem_bytes = p.mem_bytes;
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
 }  // namespace
 
 std::vector<std::uint32_t> paper2_vlens() { return {512, 1024, 2048, 4096}; }
@@ -76,6 +102,18 @@ SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
                           std::uint32_t vlen_bits, std::uint64_t l2_bytes,
                           std::uint32_t lanes, VpuAttach attach) {
   SweepKey key{net_name, conv_ordinal, algo, vlen_bits, l2_bytes, lanes, attach};
+  auto sim_config = [&] {
+    SimConfig config = make_sim_config(vlen_bits, l2_bytes, lanes, attach);
+    config.sampler.exact = repro_exact_mode();
+    // Grid-point identity for kernprof labeling: with these set the profile
+    // label equals report::entry_key(key), so profile blocks and report rows
+    // join on the same string.
+    config.net = net_name;
+    config.layer = conv_ordinal;
+    return config;
+  };
+  obs::KernProfRun prof;
+  bool have_prof = false;
   SweepRow row = db_->get_or_compute(key, [&] {
     // Only cache misses reach this lambda, so the span/sim-point metrics
     // count actual simulations, tagged with the full grid coordinate.
@@ -87,9 +125,9 @@ SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
       span.arg("vlen", std::to_string(vlen_bits));
       span.arg("l2", std::to_string(l2_bytes));
     }
-    SimConfig config = make_sim_config(vlen_bits, l2_bytes, lanes, attach);
-    config.sampler.exact = repro_exact_mode();
-    const TimingStats stats = conv_simulate(algo, desc, config);
+    SimConfig config = sim_config();
+    const TimingStats stats = conv_simulate(algo, desc, config, &prof);
+    have_prof = obs::kernprof_enabled();
     if (obs::metrics_enabled()) {
       static obs::Counter& points =
           obs::Registry::global().counter("sweep.sim_points");
@@ -111,13 +149,29 @@ SweepRow SweepDriver::get(const std::string& net_name, int conv_ordinal,
     // a benign overwrite.
     obs::Span span("sweep.upgrade");
     if (span.active()) span.arg("net", net_name);
-    SimConfig config = make_sim_config(vlen_bits, l2_bytes, lanes, attach);
-    config.sampler.exact = repro_exact_mode();
-    const TimingStats stats = conv_simulate(algo, desc, config);
+    SimConfig config = sim_config();
+    const TimingStats stats = conv_simulate(algo, desc, config, &prof);
+    have_prof = obs::kernprof_enabled();
     row = row_from_stats(key, desc, stats);
     db_->put(row);
   }
-  if (report::enabled()) report::Collector::global().record_row(row);
+  if (obs::kernprof_enabled() && !have_prof) {
+    // The row came out of a warm ResultsDb, so no PMU rode along. Re-simulate
+    // purely for the profile — same discipline as the v1 upgrade above: the
+    // simulation is deterministic, so the recorded block is byte-identical to
+    // a cold run's, and concurrent profilers of one key are benign.
+    obs::Span span("sweep.kernprof");
+    if (span.active()) span.arg("net", net_name);
+    SimConfig config = sim_config();
+    conv_simulate(algo, desc, config, &prof);
+    have_prof = true;
+  }
+  if (report::enabled()) {
+    report::Collector::global().record_row(row);
+    if (have_prof) {
+      report::Collector::global().record_phases(prof.label, phase_cells(prof));
+    }
+  }
   return row;
 }
 

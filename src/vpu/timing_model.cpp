@@ -4,12 +4,36 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "vpu/pmu.h"
+
 namespace vlacnn {
 
 TimingModel::TimingModel(const VpuConfig& vpu, MemorySystem* mem,
                          const TimingConfig& config)
     : vpu_(vpu), mem_(mem), config_(config) {
   validate(vpu);
+  // Every field checked here sits on the right of a division in the cycle
+  // model; zero would silently propagate inf/NaN through the stats (the old
+  // behaviour of `latency /= miss_overlap`).
+  if (!(config.scalar_ipc > 0.0))
+    throw std::invalid_argument("timing: scalar_ipc must be positive");
+  if (!(config.strided_lane_divisor > 0.0))
+    throw std::invalid_argument("timing: strided_lane_divisor must be positive");
+  if (!(config.indexed_lane_divisor > 0.0))
+    throw std::invalid_argument("timing: indexed_lane_divisor must be positive");
+  if (!(config.miss_overlap > 0.0))
+    throw std::invalid_argument("timing: miss_overlap must be positive");
+  if (!(config.cache_bytes_per_cycle > 0.0))
+    throw std::invalid_argument(
+        "timing: cache_bytes_per_cycle must be positive");
+}
+
+void TimingModel::pmu_begin(const char* name) {
+  if (pmu_ != nullptr) pmu_->begin_phase(name, stats_);
+}
+
+void TimingModel::pmu_end() {
+  if (pmu_ != nullptr) pmu_->end_phase(stats_);
 }
 
 void TimingModel::push_scale(double s) {
@@ -34,6 +58,7 @@ void TimingModel::vec_arith(std::uint64_t vl, std::uint32_t flops_per_elem) {
   stats_.vec_instructions += scale_;
   stats_.vec_elems += scale_ * static_cast<double>(vl);
   stats_.flops += scale_ * static_cast<double>(vl) * flops_per_elem;
+  if (pmu_ != nullptr) pmu_->on_event(stats_);
 }
 
 void TimingModel::vec_reduce(std::uint64_t vl) {
@@ -46,6 +71,7 @@ void TimingModel::vec_reduce(std::uint64_t vl) {
   stats_.vec_instructions += scale_;
   stats_.vec_elems += scale_ * static_cast<double>(vl);
   stats_.flops += scale_ * static_cast<double>(vl);
+  if (pmu_ != nullptr) pmu_->on_event(stats_);
 }
 
 void TimingModel::account_mem_result(const AccessResult& r, bool write,
@@ -121,6 +147,7 @@ void TimingModel::vec_mem(std::uint64_t addr, std::uint64_t vl,
   const std::uint64_t l2a = mem_ ? mem_->l2().accesses() - l2a0 : 0;
   const std::uint64_t l2m = mem_ ? mem_->l2().misses() - l2m0 : 0;
   account_mem_result(r, write, pattern, l2a, l2m);
+  if (pmu_ != nullptr) pmu_->on_event(stats_);
 }
 
 void TimingModel::prefetch(std::uint64_t addr, std::uint64_t bytes) {
@@ -129,12 +156,14 @@ void TimingModel::prefetch(std::uint64_t addr, std::uint64_t bytes) {
   // Non-blocking: only a one-cycle issue slot.
   stats_.cycles += scale_;
   stats_.scalar_cycles += scale_;
+  if (pmu_ != nullptr) pmu_->on_event(stats_);
 }
 
 void TimingModel::scalar_ops(std::uint64_t n) {
   const double c = static_cast<double>(n) / config_.scalar_ipc;
   stats_.cycles += scale_ * c;
   stats_.scalar_cycles += scale_ * c;
+  if (pmu_ != nullptr) pmu_->on_event(stats_);
 }
 
 void TimingModel::scalar_mem(std::uint64_t addr, std::uint64_t bytes,
@@ -148,6 +177,7 @@ void TimingModel::scalar_mem(std::uint64_t addr, std::uint64_t bytes,
   const std::uint64_t l2a = mem_ ? mem_->l2().accesses() - l2a0 : 0;
   const std::uint64_t l2m = mem_ ? mem_->l2().misses() - l2m0 : 0;
   account_mem_result(r, write, MemPattern::kUnit, l2a, l2m);
+  if (pmu_ != nullptr) pmu_->on_event(stats_);
 }
 
 }  // namespace vlacnn

@@ -31,8 +31,14 @@
 
 namespace vlacnn {
 
+class Pmu;
+
 /// Tunable cost parameters. Defaults are calibrated so absolute cycle counts for
 /// the paper's workloads land in the same decade as the reported gem5 numbers.
+/// The divisor-bearing fields (scalar_ipc, strided/indexed_lane_divisor,
+/// miss_overlap, cache_bytes_per_cycle) must be positive — the TimingModel
+/// constructor throws std::invalid_argument otherwise, since they all appear
+/// on the right of a division in the cycle model.
 struct TimingConfig {
   double vec_startup_cycles = 10.0;   ///< per-vector-instruction overhead
   double scalar_ipc = 2.0;            ///< in-order dual-issue scalar core
@@ -112,6 +118,17 @@ class TimingModel {
   MemorySystem* memory() const { return mem_; }
   const TimingConfig& config() const { return config_; }
 
+  // -- profiling (DESIGN.md §14) ----------------------------------------------
+  /// Attach a PMU: every event hands it the updated aggregate stats (counter
+  /// windows), and pmu_begin/pmu_end delimit algorithm phases. Null detaches;
+  /// the disabled path is one pointer check per event.
+  void set_pmu(Pmu* pmu) { pmu_ = pmu; }
+  Pmu* pmu() const { return pmu_; }
+  /// Open/close an algorithm phase on the attached PMU; no-ops when detached.
+  /// Kernels normally use the PmuPhase RAII guard (vpu/pmu.h) instead.
+  void pmu_begin(const char* name);
+  void pmu_end();
+
  private:
   void account_mem_result(const AccessResult& r, bool write, MemPattern pattern,
                           std::uint64_t l2_acc_delta,
@@ -123,6 +140,29 @@ class TimingModel {
   TimingStats stats_;
   double scale_ = 1.0;
   std::vector<double> scale_stack_;
+  Pmu* pmu_ = nullptr;  // not owned; null when profiling is off
+};
+
+/// RAII sampling-scale guard: push_scale on entry, pop_scale on exit — also
+/// on exceptional exit, which the manual push/pop pairs it replaced did not
+/// guarantee. Inert when constructed with a null model (the FunctionalEngine
+/// may run without timing) so kernels can scope it unconditionally:
+///
+///   ScaledRegion scaled(sample && run < total ? eng.timing() : nullptr,
+///                       static_cast<double>(total) / run);
+class ScaledRegion {
+ public:
+  ScaledRegion(TimingModel* tm, double scale) : tm_(tm) {
+    if (tm_ != nullptr) tm_->push_scale(scale);
+  }
+  ~ScaledRegion() {
+    if (tm_ != nullptr) tm_->pop_scale();
+  }
+  ScaledRegion(const ScaledRegion&) = delete;
+  ScaledRegion& operator=(const ScaledRegion&) = delete;
+
+ private:
+  TimingModel* tm_;
 };
 
 }  // namespace vlacnn

@@ -161,6 +161,56 @@ TEST(MemorySystem, MemBytesTracksFillsAndWritebacks) {
   EXPECT_GT(m.mem_bytes_total(), 64ull * 1024);  // fills + some writebacks
 }
 
+TEST(MemorySystem, WriteAllocateFillChargesExactlyOneLine) {
+  // A cold write allocates the line: one fill from DRAM, no writeback yet.
+  MemorySystem m(tiny_mem());
+  const AccessResult r = m.vector_access(0, 64, true);
+  EXPECT_EQ(r.lines, 1u);
+  EXPECT_EQ(r.l1_misses, 1u);
+  EXPECT_EQ(r.l2_misses, 1u);
+  EXPECT_EQ(r.mem_bytes, 64u);
+  EXPECT_EQ(m.mem_bytes_total(), 64u);
+}
+
+TEST(MemorySystem, DirtyL1VictimAbsorbedByL2ThenWrittenBackOnL2Eviction) {
+  // tiny_mem: L1 = 16 lines / 8 sets (set = line % 8), L2 = 64 lines /
+  // 16 sets 4-way (set = line % 16). Walks a dirty line through both
+  // eviction levels and checks mem_bytes == fills + writebacks exactly.
+  MemorySystem m(tiny_mem());
+  // Dirty line 0 in L1 (and fill it into L2, clean).
+  EXPECT_EQ(m.vector_access(0, 64, true).mem_bytes, 64u);
+  // Fill L1 set 0 (line 8 maps to L1 set 0 but L2 set 8).
+  EXPECT_EQ(m.vector_access(8 * 64, 64, false).mem_bytes, 64u);
+  // Line 16 evicts dirty line 0 from L1. The victim lands in L2 at its own
+  // address — line 0 is resident there, so the writeback costs no DRAM
+  // traffic; only line 16's own fill is charged.
+  EXPECT_EQ(m.vector_access(16 * 64, 64, false).mem_bytes, 64u);
+  // L2 set 0 now holds {0 (dirty, MRU after the writeback), 16}. Fill the
+  // remaining ways...
+  EXPECT_EQ(m.vector_access(32 * 64, 64, false).mem_bytes, 64u);
+  EXPECT_EQ(m.vector_access(48 * 64, 64, false).mem_bytes, 64u);
+  // ...evict the clean LRU (line 16) first: still just the fill...
+  EXPECT_EQ(m.vector_access(64 * 64, 64, false).mem_bytes, 64u);
+  // ...and finally evict dirty line 0 from L2: fill + DRAM writeback.
+  const AccessResult wb = m.vector_access(80 * 64, 64, false);
+  EXPECT_EQ(wb.l2_misses, 1u);
+  EXPECT_EQ(wb.mem_bytes, 128u);
+  // Total is the exact sum of per-access charges (fills + writebacks).
+  EXPECT_EQ(m.mem_bytes_total(), 6u * 64u + 128u);
+}
+
+TEST(MemorySystem, ConstructorRejectsNonPositiveBandwidth) {
+  // The timing model divides by this peak bandwidth; zero/negative would
+  // silently make every bandwidth stall inf instead of erroring out.
+  MemConfig cfg = tiny_mem();
+  cfg.mem_bytes_per_cycle = 0;
+  EXPECT_THROW(MemorySystem{cfg}, std::invalid_argument);
+  cfg.mem_bytes_per_cycle = -6.4;
+  EXPECT_THROW(MemorySystem{cfg}, std::invalid_argument);
+  cfg.mem_bytes_per_cycle = 6.4;
+  EXPECT_NO_THROW(MemorySystem{cfg});
+}
+
 TEST(MemorySystem, L2HitAfterL1Eviction) {
   MemConfig cfg = tiny_mem();  // L1 16 lines, L2 64 lines
   MemorySystem m(cfg);

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "report/collector.h"
@@ -290,6 +291,87 @@ TEST(ReportJson, RequestSimAttributionAndTimelineCellsRoundTrip) {
   ASSERT_EQ(oldback.request_sim.size(), 1u);
   EXPECT_EQ(oldback.request_sim[0].mean_queue_wait, 0.0);
   EXPECT_EQ(oldback.request_sim[0].mean_service, 0.0);
+}
+
+TEST(ReportJson, PhaseCellsRoundTripWithNaNMissRates) {
+  RunReport rep;
+  rep.tool = "roundtrip_ph";
+  report::PhaseCell pc;
+  pc.key = "vgg16/L02/gemm6/vlen512/l2:1048576/lanes8/int";
+  pc.phase = "macro-kernel";
+  pc.cycles = 1.0 / 3.0;  // %.17g must survive bit-exactly
+  pc.compute_cycles = 1.0 / 7.0;
+  pc.mem_issue_cycles = 1.0 / 11.0;
+  pc.mem_stall_cycles = 1.0 / 13.0;
+  pc.scalar_cycles = 1.0 / 17.0;
+  pc.avg_vl = 14.5;
+  pc.l1_miss_rate = 0.125;
+  pc.l2_miss_rate = 2.0 / 3.0;
+  pc.mem_bytes = 65536.0;
+  rep.phases.push_back(pc);
+  report::PhaseCell im2col;  // a phase that issued no cache accesses
+  im2col.key = pc.key;
+  im2col.phase = "im2col";
+  im2col.cycles = 42.0;
+  im2col.l1_miss_rate = std::numeric_limits<double>::quiet_NaN();
+  im2col.l2_miss_rate = std::numeric_limits<double>::quiet_NaN();
+  rep.phases.push_back(im2col);
+
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"phase_cells\": 2"), std::string::npos);
+  const RunReport back = report::report_from_json(json);
+  ASSERT_EQ(back.phases.size(), 2u);
+  const report::PhaseCell& bp = back.phases[0];
+  EXPECT_EQ(bp.key, pc.key);
+  EXPECT_EQ(bp.phase, pc.phase);
+  EXPECT_EQ(bp.cycles, pc.cycles);  // bit-exact, not NEAR
+  EXPECT_EQ(bp.compute_cycles, pc.compute_cycles);
+  EXPECT_EQ(bp.mem_issue_cycles, pc.mem_issue_cycles);
+  EXPECT_EQ(bp.mem_stall_cycles, pc.mem_stall_cycles);
+  EXPECT_EQ(bp.scalar_cycles, pc.scalar_cycles);
+  EXPECT_EQ(bp.avg_vl, pc.avg_vl);
+  EXPECT_EQ(bp.l1_miss_rate, pc.l1_miss_rate);
+  EXPECT_EQ(bp.l2_miss_rate, pc.l2_miss_rate);
+  EXPECT_EQ(bp.mem_bytes, pc.mem_bytes);
+  // NaN serializes as JSON null and parses back as NaN, not 0.
+  EXPECT_TRUE(std::isnan(back.phases[1].l1_miss_rate));
+  EXPECT_TRUE(std::isnan(back.phases[1].l2_miss_rate));
+  // The summary table renders the phase section (and "-" for the NaN rate).
+  const std::string text = report::summarize(back);
+  EXPECT_NE(text.find("macro-kernel"), std::string::npos);
+  EXPECT_NE(text.find("im2col"), std::string::npos);
+  // Pre-kernprof reports (no "phases" key) still parse with no cells.
+  RunReport old;
+  old.tool = "old";
+  const RunReport oldback = report::report_from_json(old.to_json());
+  EXPECT_TRUE(oldback.phases.empty());
+  // CSV grows a phase block only when cells exist.
+  EXPECT_EQ(old.to_csv().find("l1_miss_rate"), std::string::npos);
+  EXPECT_NE(rep.to_csv().find("key,phase,cycles"), std::string::npos);
+}
+
+TEST(ReportCollector, RecordPhasesKeyedDedupAndKeyOrder) {
+  report::Collector c;
+  report::PhaseCell pc;
+  pc.phase = "im2col";
+  pc.cycles = 100.0;
+  // Record keys out of order; re-record the second to confirm last-write-wins
+  // replaces the whole vector for that key.
+  pc.key = "b";
+  c.record_phases("b", {pc, pc});
+  pc.key = "a";
+  c.record_phases("a", {pc});
+  pc.key = "b";
+  pc.cycles = 50.0;
+  c.record_phases("b", {pc});
+  const RunReport snap = c.snapshot("t", 0.0);
+  ASSERT_EQ(snap.phases.size(), 2u);  // flattened in key order, b deduped
+  EXPECT_EQ(snap.phases[0].key, "a");
+  EXPECT_EQ(snap.phases[0].cycles, 100.0);
+  EXPECT_EQ(snap.phases[1].key, "b");
+  EXPECT_EQ(snap.phases[1].cycles, 50.0);
+  c.reset();
+  EXPECT_TRUE(c.snapshot("t", 0.0).phases.empty());
 }
 
 TEST(ReportCollector, RecordTimelineKeyedDedup) {

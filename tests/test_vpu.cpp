@@ -105,6 +105,53 @@ TEST(TimingModel, ScaleStackNests) {
   EXPECT_THROW(t.push_scale(0.0), std::invalid_argument);
 }
 
+TEST(TimingModel, ScaledRegionPopsOnExceptionalExit) {
+  // The RAII guard must restore the scale even when the region body throws —
+  // the manual push/pop pairs it replaced leaked the scale on that path.
+  TimingModel t(vpu512(), nullptr, {});
+  try {
+    const ScaledRegion scaled(&t, 8.0);
+    EXPECT_DOUBLE_EQ(t.current_scale(), 8.0);
+    throw std::runtime_error("mid-region failure");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_DOUBLE_EQ(t.current_scale(), 1.0);
+  t.vec_arith(16);
+  EXPECT_DOUBLE_EQ(t.stats().vec_instructions, 1.0);  // unscaled again
+  // Null-model guard is inert (the FunctionalEngine-without-timing case).
+  { const ScaledRegion inert(nullptr, 123.0); }
+}
+
+TEST(TimingModel, ConstructorRejectsNonPositiveDivisors) {
+  // Every divisor-bearing TimingConfig field must be positive: they all sit
+  // on the right of a division in the cycle model, and zero/negative values
+  // would silently produce inf/NaN cycles instead of an error.
+  auto with = [](auto mutate) {
+    TimingConfig tc;
+    mutate(tc);
+    return tc;
+  };
+  EXPECT_THROW(TimingModel(vpu512(), nullptr,
+                           with([](TimingConfig& c) { c.scalar_ipc = 0; })),
+               std::invalid_argument);
+  EXPECT_THROW(
+      TimingModel(vpu512(), nullptr,
+                  with([](TimingConfig& c) { c.strided_lane_divisor = -1; })),
+      std::invalid_argument);
+  EXPECT_THROW(
+      TimingModel(vpu512(), nullptr,
+                  with([](TimingConfig& c) { c.indexed_lane_divisor = 0; })),
+      std::invalid_argument);
+  EXPECT_THROW(TimingModel(vpu512(), nullptr,
+                           with([](TimingConfig& c) { c.miss_overlap = 0; })),
+               std::invalid_argument);
+  EXPECT_THROW(
+      TimingModel(vpu512(), nullptr,
+                  with([](TimingConfig& c) { c.cache_bytes_per_cycle = 0; })),
+      std::invalid_argument);
+  EXPECT_NO_THROW(TimingModel(vpu512(), nullptr, TimingConfig{}));
+}
+
 TEST(TimingModel, MissStallsIncreaseCycles) {
   MemConfig mc;
   mc.l2.size_bytes = 1u << 20;

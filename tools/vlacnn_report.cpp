@@ -26,6 +26,17 @@
 //       attribution ((queue+formation)+service == latency, and the layer
 //       segments folded back-to-front == service); any mismatch exits 1.
 //
+//   vlacnn-report profile <kernprof.jsonl> [--point SUBSTR] [--windows N]
+//       Kernel-profile explorer over a VLACNN_KERNPROF file (simulated PMU,
+//       DESIGN.md §14): per grid point, the per-phase cycle attribution
+//       table; across points, the hottest-phase-by-mem-stall ranking; and
+//       for one chosen point (--point picks the first label containing
+//       SUBSTR, default the first block) an ASCII occupancy + L2-miss-rate
+//       timeline over up to N counter windows (default 16, 0 = all). Every
+//       block's phase cycles are cross-checked bit-exactly against the
+//       kernel's aggregate cycles (right-to-left Sterbenz fold); any
+//       mismatch exits 1.
+//
 // Exit codes (all subcommands): 0 success, 1 semantic failure (regression
 // over budget, no runs in a file, attribution mismatch, unreadable input),
 // 2 usage error (bad flag or subcommand; usage goes to stderr).
@@ -51,8 +62,10 @@ int usage(const char* argv0) {
                "[--budget-pct N] [--wall-budget-pct N]\n"
                "       %s timeline <timeline.jsonl> [--snapshots N]\n"
                "       %s requests <reqtrace.jsonl> [--top N] "
-               "[--waterfall N]\n",
-               argv0, argv0, argv0, argv0);
+               "[--waterfall N]\n"
+               "       %s profile <kernprof.jsonl> [--point SUBSTR] "
+               "[--windows N]\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -478,6 +491,275 @@ int render_requests(const std::string& path, std::size_t top_n,
   return 0;
 }
 
+// -- kernel-profile explorer --------------------------------------------------
+
+/// One phase record out of a VLACNN_KERNPROF JSONL file.
+struct ProfPhase {
+  std::string name;
+  double cycles = 0, raw_cycles = 0;
+  double compute = 0, mem_issue = 0, mem_stall = 0, scalar = 0;
+  double avg_vl = 0, flops = 0;
+  double l1_accesses = 0, l1_misses = 0, l2_accesses = 0, l2_misses = 0;
+  double mem_bytes = 0;
+};
+
+/// One counter window.
+struct ProfWindow {
+  double t_start = 0, t_end = 0;
+  double compute = 0, mem_issue = 0, mem_stall = 0, scalar = 0;
+  double avg_vl = 0, lane_utilization = 0;
+  double l1_miss_rate = 0, l2_miss_rate = 0, dram_bytes_per_cycle = 0;
+};
+
+/// One grid point's profile block.
+struct ProfRun {
+  std::string label, net, algo, attach;
+  int layer = -1;
+  std::uint64_t vlen_bits = 0, l2_bytes = 0, lanes = 0;
+  double interval_cycles = 0, cycles = 0;
+  double compute = 0, mem_issue = 0, mem_stall = 0, scalar = 0;
+  std::vector<ProfPhase> phases;
+  std::vector<ProfWindow> windows;
+};
+
+std::vector<ProfRun> load_kernprof(const std::string& path) {
+  using vlacnn::report::Json;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<ProfRun> runs;
+  std::string line;
+  std::size_t lineno = 0;
+  auto num = [](const Json& j, const char* key) { return j.at(key).num_or(0); };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Json j;
+    try {
+      j = vlacnn::report::parse_json(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " +
+                               e.what());
+    }
+    const std::string type = j.at("type").string;
+    if (type == "run") {
+      runs.emplace_back();
+      runs.back().label = j.at("label").string;
+      continue;
+    }
+    if (runs.empty()) runs.emplace_back();  // to_jsonl()-direct file: one run
+    ProfRun& run = runs.back();
+    if (type == "kernel") {
+      run.net = j.at("net").string;
+      run.layer = static_cast<int>(num(j, "layer"));
+      run.algo = j.at("algo").string;
+      run.vlen_bits = static_cast<std::uint64_t>(num(j, "vlen_bits"));
+      run.l2_bytes = static_cast<std::uint64_t>(num(j, "l2_bytes"));
+      run.lanes = static_cast<std::uint64_t>(num(j, "lanes"));
+      run.attach = j.at("attach").string;
+      run.interval_cycles = num(j, "interval_cycles");
+      run.cycles = num(j, "cycles");
+      run.compute = num(j, "compute_cycles");
+      run.mem_issue = num(j, "mem_issue_cycles");
+      run.mem_stall = num(j, "mem_stall_cycles");
+      run.scalar = num(j, "scalar_cycles");
+    } else if (type == "phase") {
+      ProfPhase p;
+      p.name = j.at("name").string;
+      p.cycles = num(j, "cycles");
+      p.raw_cycles = num(j, "raw_cycles");
+      p.compute = num(j, "compute_cycles");
+      p.mem_issue = num(j, "mem_issue_cycles");
+      p.mem_stall = num(j, "mem_stall_cycles");
+      p.scalar = num(j, "scalar_cycles");
+      p.avg_vl = num(j, "avg_vl");
+      p.flops = num(j, "flops");
+      p.l1_accesses = num(j, "l1_accesses");
+      p.l1_misses = num(j, "l1_misses");
+      p.l2_accesses = num(j, "l2_accesses");
+      p.l2_misses = num(j, "l2_misses");
+      p.mem_bytes = num(j, "mem_bytes");
+      run.phases.push_back(std::move(p));
+    } else if (type == "window") {
+      ProfWindow w;
+      w.t_start = num(j, "t_start");
+      w.t_end = num(j, "t_end");
+      w.compute = num(j, "compute_cycles");
+      w.mem_issue = num(j, "mem_issue_cycles");
+      w.mem_stall = num(j, "mem_stall_cycles");
+      w.scalar = num(j, "scalar_cycles");
+      w.avg_vl = num(j, "avg_vl");
+      w.lane_utilization = num(j, "lane_utilization");
+      w.l1_miss_rate = num(j, "l1_miss_rate");
+      w.l2_miss_rate = num(j, "l2_miss_rate");
+      w.dram_bytes_per_cycle = num(j, "dram_bytes_per_cycle");
+      run.windows.push_back(w);
+    } else {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": unknown line type '" + type + "'");
+    }
+  }
+  return runs;
+}
+
+/// The per-block cross-check the producer promises: phase cycle slices fold
+/// right-to-left to the kernel's aggregate cycles bit for bit (the PMU's
+/// Sterbenz partition). Returns 0 when exact, 1 on mismatch.
+int profile_fold_mismatch(const ProfRun& run) {
+  if (run.phases.empty()) return run.cycles != 0 ? 1 : 0;
+  double total = 0;
+  for (std::size_t i = run.phases.size(); i-- > 0;) {
+    total = run.phases[i].cycles + total;
+  }
+  return total != run.cycles ? 1 : 0;
+}
+
+void print_profile_table(const ProfRun& run) {
+  std::printf("== %s ==\n",
+              run.label.empty() ? "(unlabeled run)" : run.label.c_str());
+  std::printf("  %s vlen%llu l2:%llu lanes%llu %s — %.6g cycles "
+              "(comp %.1f%%, mem %.1f%%, stall %.1f%%, scalar %.1f%%), "
+              "%zu phases, %zu windows x %.4g cycles\n",
+              run.algo.c_str(),
+              static_cast<unsigned long long>(run.vlen_bits),
+              static_cast<unsigned long long>(run.l2_bytes),
+              static_cast<unsigned long long>(run.lanes), run.attach.c_str(),
+              run.cycles,
+              run.cycles > 0 ? 100.0 * run.compute / run.cycles : 0.0,
+              run.cycles > 0 ? 100.0 * run.mem_issue / run.cycles : 0.0,
+              run.cycles > 0 ? 100.0 * run.mem_stall / run.cycles : 0.0,
+              run.cycles > 0 ? 100.0 * run.scalar / run.cycles : 0.0,
+              run.phases.size(), run.windows.size(), run.interval_cycles);
+  if (run.phases.empty()) return;
+  std::printf("  %-16s %12s %6s  %-20s %6s %7s %7s %10s\n", "phase", "cycles",
+              "share", "", "avg_vl", "l1miss", "l2miss", "dram_B");
+  for (const ProfPhase& p : run.phases) {
+    const double share = run.cycles > 0 ? p.cycles / run.cycles : 0;
+    const int bar = static_cast<int>(share * 20.0 + 0.5);
+    char l1[8] = "     -", l2[8] = "     -";
+    if (p.l1_accesses > 0) {
+      std::snprintf(l1, sizeof l1, "%7.4f", p.l1_misses / p.l1_accesses);
+    }
+    if (p.l2_accesses > 0) {
+      std::snprintf(l2, sizeof l2, "%7.4f", p.l2_misses / p.l2_accesses);
+    }
+    std::printf("  %-16s %12.6g %5.1f%%  %-20.*s %6.1f %7s %7s %10.4g\n",
+                p.name.c_str(), p.cycles, share * 100.0, bar,
+                "####################", p.avg_vl, l1, l2, p.mem_bytes);
+  }
+}
+
+void print_profile_timeline(const ProfRun& run, std::size_t max_windows) {
+  std::printf("\noccupancy / miss-rate trajectory for %s:\n",
+              run.label.empty() ? "(unlabeled run)" : run.label.c_str());
+  if (run.windows.empty()) {
+    std::printf("  (no counter windows — kernel shorter than one interval)\n");
+    return;
+  }
+  const std::size_t n = run.windows.size();
+  const std::size_t shown =
+      max_windows == 0 ? n : std::min<std::size_t>(n, max_windows);
+  std::printf("  %12s  %-32s %6s %6s %7s %7s %7s\n", "t_end",
+              "occupancy (C/M/S/.=scalar)", "avg_vl", "lane%", "l1miss",
+              "l2miss", "B/cyc");
+  for (std::size_t i = 0; i < shown; ++i) {
+    const ProfWindow& w = run.windows[i];
+    const double busy = w.compute + w.mem_issue + w.mem_stall + w.scalar;
+    char bar[33];
+    int pos = 0;
+    // 32 columns split by each bucket's share of the window's busy cycles;
+    // truncation leaves trailing spaces rather than misordering the bands.
+    const struct {
+      char glyph;
+      double cycles;
+    } bands[] = {{'C', w.compute},
+                 {'M', w.mem_issue},
+                 {'S', w.mem_stall},
+                 {'.', w.scalar}};
+    for (const auto& b : bands) {
+      const int width =
+          busy > 0 ? static_cast<int>(b.cycles / busy * 32.0 + 0.5) : 0;
+      for (int k = 0; k < width && pos < 32; ++k) bar[pos++] = b.glyph;
+    }
+    while (pos < 32) bar[pos++] = ' ';
+    bar[32] = '\0';
+    std::printf("  %12.6g  %-32s %6.1f %6.1f %7.4f %7.4f %7.3f\n", w.t_end,
+                bar, w.avg_vl, w.lane_utilization * 100.0, w.l1_miss_rate,
+                w.l2_miss_rate, w.dram_bytes_per_cycle);
+  }
+  if (shown < n) {
+    std::printf("  ... %zu more windows (--windows 0 shows all)\n", n - shown);
+  }
+}
+
+int render_profile(const std::string& path, const std::string& point,
+                   std::size_t max_windows) {
+  const std::vector<ProfRun> runs = load_kernprof(path);
+  if (runs.empty()) {
+    std::printf("%s: no kernel profiles\n", path.c_str());
+    return 1;
+  }
+  int mismatches = 0;
+  for (const ProfRun& run : runs) {
+    print_profile_table(run);
+    mismatches += profile_fold_mismatch(run);
+  }
+
+  // Hottest phases by memory-stall cycles across every profiled point: the
+  // ranking that localizes a bandwidth cliff to one phase of one kernel.
+  std::vector<std::pair<const ProfRun*, const ProfPhase*>> ranked;
+  for (const ProfRun& run : runs) {
+    for (const ProfPhase& p : run.phases) ranked.emplace_back(&run, &p);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->mem_stall > b.second->mem_stall;
+                   });
+  const std::size_t top = std::min<std::size_t>(ranked.size(), 10);
+  if (top > 0) {
+    std::printf("\nhottest phases by mem-stall cycles:\n");
+    std::printf("  %4s %-44s %-16s %12s %7s\n", "rank", "point", "phase",
+                "stall_cyc", "l2miss");
+    for (std::size_t i = 0; i < top; ++i) {
+      const ProfRun& run = *ranked[i].first;
+      const ProfPhase& p = *ranked[i].second;
+      char l2[8] = "     -";
+      if (p.l2_accesses > 0) {
+        std::snprintf(l2, sizeof l2, "%7.4f", p.l2_misses / p.l2_accesses);
+      }
+      std::printf("  %4zu %-44s %-16s %12.6g %7s\n", i + 1, run.label.c_str(),
+                  p.name.c_str(), p.mem_stall, l2);
+    }
+  }
+
+  // Windowed trajectory for one chosen point (first label match, or the
+  // first block when --point was not given).
+  const ProfRun* chosen = nullptr;
+  for (const ProfRun& run : runs) {
+    if (point.empty() || run.label.find(point) != std::string::npos) {
+      chosen = &run;
+      break;
+    }
+  }
+  if (chosen == nullptr) {
+    std::fprintf(stderr, "vlacnn-report: no profile label contains '%s'\n",
+                 point.c_str());
+    return 1;
+  }
+  print_profile_timeline(*chosen, max_windows);
+
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "vlacnn-report: %d profile blocks violate the phase "
+                 "partition — phase cycles must fold bit-exactly to the "
+                 "kernel total\n",
+                 mismatches);
+    return 1;
+  }
+  std::printf("\nattribution cross-check: every block's phase cycles fold "
+              "bit-exactly to its kernel total\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -522,6 +804,25 @@ int main(int argc, char** argv) {
         }
       }
       return render_requests(argv[2], top_n, waterfall_n);
+    }
+    if (cmd == "profile") {
+      if (argc < 3) return usage(argv[0]);
+      std::string point;
+      std::size_t max_windows = 16;
+      for (int i = 3; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--point" && i + 1 < argc) {
+          point = argv[++i];
+        } else if (flag == "--windows" && i + 1 < argc) {
+          max_windows =
+              static_cast<std::size_t>(pct_arg("--windows", argv[++i]));
+        } else {
+          std::fprintf(stderr, "unknown or incomplete option '%s'\n",
+                       flag.c_str());
+          return usage(argv[0]);
+        }
+      }
+      return render_profile(argv[2], point, max_windows);
     }
     if (cmd == "summarize") {
       if (argc != 3) return usage(argv[0]);
