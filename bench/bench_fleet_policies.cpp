@@ -1,0 +1,205 @@
+// Beyond the paper: front-end routing policy shoot-out for multi-chip fleet
+// serving (src/serving/fleet.h, DESIGN.md §15). The ICPP'24 study sizes one
+// chip; model serving deploys many. This bench fixes a four-chip fleet under
+// the paper's VGG-16 + YOLOv3 traffic mix at ~0.8 utilization — where routing
+// quality actually shows up in the tail — and compares round-robin,
+// join-shortest-queue, and power-of-two-choices on p99/p99.9 latency and SLO
+// attainment, all on the same seeded arrival stream. Small chips on purpose:
+// with few servers per chip, one bad routing decision is a whole service
+// time of queueing, which is where policies separate. A second table shows
+// the batching interaction — load-aware routing concentrates arrivals into
+// larger batches, which can invert the ranking.
+//
+// Everything is simulated cycles from seeded processes: two runs with the
+// same seeds print byte-identical numbers at any VLACNN_THREADS.
+#include <cinttypes>
+
+#include "bench_common.h"
+#include "serving/fleet.h"
+
+using namespace vlacnn;
+using namespace vlacnn::bench;
+using namespace vlacnn::serving;
+
+namespace {
+
+constexpr double kHz = 2.0e9;  // presentation clock, as everywhere else
+
+void print_row(const char* label, const FleetStats& s) {
+  std::printf("%-6s %8.0f %8.0f %8.0f %8.0f %7.2f %6.1f%% %8.2f %7.2f%%\n",
+              label, ServingStats::ms(s.fleet.p50, kHz),
+              ServingStats::ms(s.fleet.p95, kHz),
+              ServingStats::ms(s.fleet.p99, kHz),
+              ServingStats::ms(s.fleet.p999, kHz), s.fleet.mean_batch,
+              s.fleet.utilization * 100.0, s.fleet.throughput_rps(kHz),
+              s.fleet.slo_attainment * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  banner("Fleet routing: rr vs jsq vs p2c at 0.8 utilization",
+         "beyond ICPP'24 (routing after Mitzenmacher '01, load balancing "
+         "surveys)");
+  Env env;
+
+  // Four identical small chips (2 cores x 2048-bit x 8MB shared L2, one
+  // instance per core), every chip hosting both models — the homogeneous
+  // full-replication baseline, so latency differences are routing, not
+  // placement. Eight servers fleet-wide keeps queueing real at 0.8
+  // utilization; a 64-instance fleet at the same fraction almost never
+  // queues and every policy ties.
+  const ServingPoint point{2, 2048, 8ull << 20, 2};
+  const int kChips = 4;
+  const BatchCostModel vgg_cost = batch_cost_model(
+      *env.driver, env.vgg16, point.vlen_bits, point.l2_slice_bytes(),
+      std::nullopt);
+  const BatchCostModel yolo_cost = batch_cost_model(
+      *env.driver, env.yolo20, point.vlen_bits, point.l2_slice_bytes(),
+      std::nullopt);
+
+  FleetTrafficMix mix;
+  mix.names = {"vgg16", "yolo20"};
+  mix.shares = {0.7, 0.3};
+  mix.seed = 42;
+
+  // No-batch fleet capacity under the mix-weighted service time; offer 80%.
+  const double weighted_first =
+      0.7 * vgg_cost.first_image_cycles + 0.3 * yolo_cost.first_image_cycles;
+  const double cap_rps =
+      static_cast<double>(kChips * point.instances) / weighted_first * kHz;
+  const double load_rps = 0.8 * cap_rps;
+  const std::uint64_t kRequests = 4000;
+  const std::uint64_t kSeed = 42;
+  const double slo_ms = 15000.0;
+
+  std::printf("\nfleet: %d x (%d cores x %u-bit x %s shared L2, %d "
+              "instances), full replication\n",
+              kChips, point.cores, point.vlen_bits,
+              l2_str(point.l2_total_bytes).c_str(), point.instances);
+  std::printf("mix %s; vgg16 first image %.2f ms, yolo20 %.2f ms\n",
+              mix.to_string().c_str(),
+              ServingStats::ms(vgg_cost.first_image_cycles, kHz),
+              ServingStats::ms(yolo_cost.first_image_cycles, kHz));
+  std::printf("no-batch fleet capacity %.1f req/s; offering 80%% = %.1f "
+              "req/s, %" PRIu64 " requests, %.0f ms SLO\n",
+              cap_rps, load_rps, kRequests, slo_ms);
+
+  FleetConfig fc;
+  for (int c = 0; c < kChips; ++c) {
+    FleetChip chip;
+    chip.spec.point = point;
+    chip.costs = {vgg_cost, yolo_cost};
+    fc.chips.push_back(chip);
+  }
+  fc.mix = mix;
+  fc.policy = {BatchPolicySpec::Kind::kNoBatch, 1, 0};
+  fc.slo_cycles = slo_ms * 1e-3 * kHz;
+  fc.router_hop_cycles = 2e6;  // 1 ms front-end network hop
+
+  ArrivalSpec as;
+  as.kind = ArrivalSpec::Kind::kPoisson;
+  as.mean_interarrival_cycles = kHz / load_rps;
+  as.requests = kRequests;
+
+  const RouterSpec routers[] = {
+      {RouterSpec::Kind::kRoundRobin, 1},
+      {RouterSpec::Kind::kJoinShortestQueue, 1},
+      {RouterSpec::Kind::kPowerOfTwo, 1},
+  };
+  const char* names[] = {"rr", "jsq", "p2c"};
+
+  std::printf("\nno batching (pure routing signal):\n");
+  std::printf("%-6s %8s %8s %8s %8s %7s %7s %8s %8s\n", "router", "p50ms",
+              "p95ms", "p99ms", "p999ms", "batch", "util", "req/s", "SLO");
+  FleetStats jsq_stats, rr_stats;
+  for (std::size_t i = 0; i < 3; ++i) {
+    fc.router = routers[i];
+    const auto arrivals = make_arrivals(as, kSeed);
+    const FleetStats s = simulate_fleet(fc, *arrivals);
+    print_row(names[i], s);
+    if (i == 0) rr_stats = s;
+    if (i == 1) jsq_stats = s;
+  }
+  if (jsq_stats.fleet.p99 > 0) {
+    std::printf("rr p99 / jsq p99 = %.2fx\n",
+                rr_stats.fleet.p99 / jsq_stats.fleet.p99);
+  }
+
+  // Tail sensitivity to load: the policy gap opens as utilization climbs.
+  std::printf("\np99 (ms) vs offered load, no batching:\n");
+  std::printf("%-6s", "router");
+  const double fracs[] = {0.5, 0.7, 0.8, 0.9};
+  for (double f : fracs) std::printf(" %7.0f%%", f * 100.0);
+  std::printf("\n");
+  for (std::size_t i = 0; i < 3; ++i) {
+    fc.router = routers[i];
+    std::printf("%-6s", names[i]);
+    for (double f : fracs) {
+      ArrivalSpec a2 = as;
+      a2.mean_interarrival_cycles = kHz / (f * cap_rps);
+      const auto arrivals = make_arrivals(a2, kSeed);
+      const FleetStats s = simulate_fleet(fc, *arrivals);
+      std::printf(" %8.0f", ServingStats::ms(s.fleet.p99, kHz));
+    }
+    std::printf("\n");
+  }
+
+  // The batching interaction: adaptive batching (max 4, 100 ms flush) turns
+  // routing concentration into batch formation. Load-aware policies that
+  // funnel consecutive arrivals to the same chip grow batches — good for
+  // throughput, but every extra image adds its marginal cycles to the whole
+  // batch's completion, so at sub-saturation load it is pure tail inflation.
+  fc.policy = {BatchPolicySpec::Kind::kAdaptive, 4, 2e8};
+  std::printf("\nadaptive batching, max 4, 100 ms flush (same load):\n");
+  std::printf("%-6s %8s %8s %8s %8s %7s %7s %8s %8s\n", "router", "p50ms",
+              "p95ms", "p99ms", "p999ms", "batch", "util", "req/s", "SLO");
+  for (std::size_t i = 0; i < 3; ++i) {
+    fc.router = routers[i];
+    const auto arrivals = make_arrivals(as, kSeed);
+    const FleetStats s = simulate_fleet(fc, *arrivals);
+    print_row(names[i], s);
+  }
+
+  // Heterogeneous silicon — the fleet planner's actual output shape. Two
+  // small chips plus one 16-instance chip: round-robin deals each chip an
+  // equal share, so the small chips run far above their fair utilization
+  // while the big one idles. Load-aware policies are what make mixed
+  // compositions usable at all.
+  {
+    const ServingPoint big{16, 2048, 64ull << 20, 16};  // same 4MB L2 slice
+    FleetConfig hc;
+    for (int c = 0; c < 2; ++c) {
+      FleetChip chip;
+      chip.spec.point = point;
+      chip.costs = {vgg_cost, yolo_cost};
+      hc.chips.push_back(chip);
+    }
+    FleetChip big_chip;
+    big_chip.spec.point = big;
+    big_chip.costs = {vgg_cost, yolo_cost};
+    hc.chips.push_back(big_chip);
+    hc.mix = mix;
+    hc.policy = {BatchPolicySpec::Kind::kNoBatch, 1, 0};
+    hc.slo_cycles = fc.slo_cycles;
+    hc.router_hop_cycles = fc.router_hop_cycles;
+
+    const double het_cap =
+        static_cast<double>(2 * point.instances + big.instances) /
+        weighted_first * kHz;
+    ArrivalSpec ha = as;
+    ha.mean_interarrival_cycles = kHz / (0.8 * het_cap);
+    std::printf("\nheterogeneous fleet (2 x %d-instance + 1 x %d-instance), "
+                "no batching, 80%% of %.1f req/s:\n",
+                point.instances, big.instances, het_cap);
+    std::printf("%-6s %8s %8s %8s %8s %7s %7s %8s %8s\n", "router", "p50ms",
+                "p95ms", "p99ms", "p999ms", "batch", "util", "req/s", "SLO");
+    for (std::size_t i = 0; i < 3; ++i) {
+      hc.router = routers[i];
+      const auto arrivals = make_arrivals(ha, kSeed);
+      const FleetStats s = simulate_fleet(hc, *arrivals);
+      print_row(names[i], s);
+    }
+  }
+  return 0;
+}

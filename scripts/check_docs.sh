@@ -11,6 +11,9 @@
 #  3. Every VLACNN_*/REPRO_* token the docs mention is really read in src/ —
 #     no documenting knobs that do not exist. VLACNN_SANITIZE is exempt: it is
 #     a CMake option, not an env var.
+#  4. The fleet layer stays documented: DESIGN.md keeps the §15 fleet section,
+#     README.md mentions the `vlacnn-capacity fleet` subcommand, and the
+#     subcommand the docs describe still exists in the binary's usage text.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,6 +60,28 @@ for knob in $doc_knobs; do
     fail=1
   fi
 done
+
+# -- 4: fleet docs vs the fleet subcommand ------------------------------------
+if ! grep -qE '^## 15\..*[Ff]leet' DESIGN.md; then
+  echo "check_docs: DESIGN.md lost the '## 15. Fleet-scale serving' section" >&2
+  fail=1
+fi
+if ! grep -q 'vlacnn-capacity fleet' README.md; then
+  echo "check_docs: README.md does not mention 'vlacnn-capacity fleet'" >&2
+  fail=1
+fi
+if [ -x "$BUILD_DIR/tools/vlacnn-capacity" ]; then
+  # --help is a usage error by the CLI contract (exit 2), so capture the text
+  # first; pipefail would otherwise sink a successful grep.
+  fleet_help=$("$BUILD_DIR/tools/vlacnn-capacity" fleet --help 2>&1 || true)
+  if ! grep -q '^usage:' <<< "$fleet_help"; then
+    echo "check_docs: 'vlacnn-capacity fleet --help' prints no usage text" >&2
+    fail=1
+  fi
+else
+  echo "check_docs: $BUILD_DIR/tools/vlacnn-capacity missing; skipping fleet usage check"
+fi
+echo "check_docs: fleet section/subcommand cross-check done"
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2

@@ -79,6 +79,29 @@ cmp "$CAP_DIR/tl-t1.jsonl" "$CAP_DIR/tl-t8.jsonl"
   >/dev/null
 echo "timeline JSONL byte-identical at VLACNN_THREADS=1 and 8"
 
+echo "== fleet: multi-chip plan determinism across thread counts ============="
+# The fleet planner fans candidate fleets out on the pool; the vlacnn.fleet.v1
+# JSON (chip-type menu, every composition's stats, both headline answers) must
+# be byte-identical across pool sizes (DESIGN.md §15). Warm cache again: the
+# committed sweep grid covers both mix models, so each candidate is a pure
+# event-loop run.
+FLEET_DIR=build/fleet-gate
+rm -rf "$FLEET_DIR"; mkdir -p "$FLEET_DIR"
+VLACNN_THREADS=1 ./build/tools/vlacnn-capacity fleet --load 45rps \
+  --slo 12000ms --requests 800 --json "$FLEET_DIR/t1.json" >/dev/null
+VLACNN_THREADS=8 ./build/tools/vlacnn-capacity fleet --load 45rps \
+  --slo 12000ms --requests 800 --json "$FLEET_DIR/t8.json" >/dev/null
+cmp "$FLEET_DIR/t1.json" "$FLEET_DIR/t8.json"
+echo "fleet plan byte-identical at VLACNN_THREADS=1 and 8"
+# Smoke the fleet reqtrace path end to end: the router hop must show up as its
+# own span and the forensics attribution cross-check (four spans sum
+# bit-exactly to each latency) must hold fleet-wide.
+./build/tools/vlacnn-capacity fleet --load 45rps --slo 12000ms \
+  --requests 800 --hop 1000 --reqtrace "$FLEET_DIR/rt.jsonl" >/dev/null
+./build/tools/vlacnn-report requests "$FLEET_DIR/rt.jsonl" --top 3 \
+  --waterfall 0 >/dev/null
+echo "fleet reqtrace attribution cross-check holds"
+
 echo "== reqtrace: per-request trace determinism across thread counts ========"
 # Per-request tracing over the same planner run: the tail-sampled trace JSONL
 # must be byte-identical across pool sizes too (DESIGN.md §13), and the

@@ -57,6 +57,20 @@ expect 2 yes "capacity: unknown --net"       -- "$CAP" --net martian
 expect 2 yes "capacity: unknown --dispatch"  -- "$CAP" --dispatch psychic
 expect 2 yes "capacity: flag missing value"  -- "$CAP" --slo
 
+# -- vlacnn-capacity fleet: usage errors exit 2 with usage on stderr ---------
+expect 2 yes "fleet: unknown flag"           -- "$CAP" fleet --bogus
+expect 2 yes "fleet: malformed --load"       -- "$CAP" fleet --load nope
+expect 2 yes "fleet: malformed --mix"        -- "$CAP" fleet --mix "vgg16"
+expect 2 yes "fleet: malformed --router"     -- "$CAP" fleet --router random
+expect 2 yes "fleet: malformed --max-chips"  -- "$CAP" fleet --max-chips zero
+expect 2 yes "fleet: flag missing value"     -- "$CAP" fleet --slo
+
+# -- vlacnn-capacity fleet: infeasible query exits 1 (not 2) -----------------
+# 1e6 req/s against a 1 ms deadline: no composition survives the optimistic
+# prune, so the planner reports no feasible fleet. Warm cache keeps it fast.
+expect 1 no "fleet: infeasible SLO" \
+  -- "$CAP" fleet --load 1000000rps --slo 1ms --requests 100
+
 # -- vlacnn-capacity: infeasible SLO exits 1 (not 2) -------------------------
 # 1e6 req/s against a 1 ms deadline: no grid point survives. Warm cache makes
 # this a real (sub-minute) run, and stderr must NOT carry the usage text.

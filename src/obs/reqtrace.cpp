@@ -172,6 +172,12 @@ std::string RequestTrace::to_json() const {
   append_kv(out, "queue_wait", queue_wait);
   append_kv(out, "formation_wait", formation_wait);
   append_kv(out, "service", service);
+  // Fleet-only keys, emitted only for routed traces: single-chip trace files
+  // keep their exact historical bytes (the v1 line schema grows additively).
+  if (chip >= 0) {
+    append_kv(out, "router_hop", router_hop);
+    append_kv(out, "chip", chip);
+  }
   append_kv(out, "batch", batch);
   append_kv(out, "instance", instance);
   append_kv(out, "dropped", dropped);
@@ -321,6 +327,16 @@ void RequestTraceRecorder::on_completion(std::uint64_t id, double arrival,
                                          bool within_slo, int batch,
                                          int instance,
                                          const std::vector<TraceNote>& notes) {
+  on_completion_routed(id, arrival, dispatch, completion, /*router_hop=*/0.0,
+                       queue_wait, formation_wait, service, within_slo, batch,
+                       /*chip=*/-1, instance, notes);
+}
+
+void RequestTraceRecorder::on_completion_routed(
+    std::uint64_t id, double arrival, double dispatch, double completion,
+    double router_hop, double queue_wait, double formation_wait,
+    double service, bool within_slo, int batch, int chip, int instance,
+    const std::vector<TraceNote>& notes) {
   ++offered_;
   ++completed_;
   if (!within_slo) ++violations_;
@@ -332,6 +348,8 @@ void RequestTraceRecorder::on_completion(std::uint64_t id, double arrival,
   tr.queue_wait = queue_wait;
   tr.formation_wait = formation_wait;
   tr.service = service;
+  tr.router_hop = router_hop;
+  tr.chip = chip;
   tr.batch = batch;
   tr.instance = instance;
   tr.within_slo = within_slo;

@@ -94,9 +94,13 @@ struct TraceSegment {
   double duration = 0;  ///< cycles
 };
 
-/// One request's complete trace. For completions the three top-level spans
-/// are the exact Sterbenz attribution; drops carry only the arrival
-/// timestamp (arrival == completion, all spans zero).
+/// One request's complete trace. For completions the top-level spans are the
+/// exact Sterbenz attribution; drops carry only the arrival timestamp
+/// (arrival == completion, all spans zero). Fleet-routed traces (chip >= 0)
+/// carry one extra leading span, the router hop, and the identity extends to
+///   (router_hop + (queue_wait + formation_wait)) + service
+///     == completion - arrival
+/// left-to-right — the single-chip identity is its hop == 0 special case.
 struct RequestTrace {
   std::uint64_t trace_id = 0;  ///< 1-based offered-arrival sequence number
   double arrival = 0;          ///< cycles: joined (or was rejected at) the queue
@@ -105,6 +109,8 @@ struct RequestTrace {
   double queue_wait = 0;       ///< all-instances-busy share of the wait
   double formation_wait = 0;   ///< batching-policy (instance-idle) share
   double service = 0;          ///< in-service cycles
+  double router_hop = 0;       ///< fleet front-end hop span (0 off-fleet)
+  int chip = -1;               ///< serving fleet chip (-1 = not a fleet run)
   int batch = 0;               ///< batch size the request was served in
   int instance = -1;           ///< serving instance (-1 for drops)
   bool dropped = false;
@@ -204,6 +210,16 @@ class RequestTraceRecorder {
                      double formation_wait, double service, bool within_slo,
                      int batch, int instance,
                      const std::vector<TraceNote>& notes);
+
+  /// The fleet-routed variant: additionally records the exact-split router
+  /// hop span and the serving chip (>= 0), so the trace line carries the
+  /// extended four-span attribution (see RequestTrace).
+  void on_completion_routed(std::uint64_t id, double arrival, double dispatch,
+                            double completion, double router_hop,
+                            double queue_wait, double formation_wait,
+                            double service, bool within_slo, int batch,
+                            int chip, int instance,
+                            const std::vector<TraceNote>& notes);
 
   /// Seal the sampler. Idempotent; must be the last mutating call.
   void finish();

@@ -107,6 +107,11 @@ void Collector::record_timeline(const TimelineCell& cell) {
              cell.policy, cell.arrivals}] = cell;
 }
 
+void Collector::record_fleet(const FleetCell& cell) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fleet_[{cell.label, cell.router, cell.mix}] = cell;
+}
+
 void Collector::record_phases(const std::string& key,
                               std::vector<PhaseCell> cells) {
   std::lock_guard<std::mutex> lk(mu_);
@@ -132,6 +137,8 @@ RunReport Collector::snapshot(const std::string& tool, double wall_ms,
   for (const auto& [key, cell] : dispatch_) r.dispatch.push_back(cell);
   r.timeline.reserve(timeline_.size());
   for (const auto& [key, cell] : timeline_) r.timeline.push_back(cell);
+  r.fleet.reserve(fleet_.size());
+  for (const auto& [key, cell] : fleet_) r.fleet.push_back(cell);
   for (const auto& [key, cells] : phases_) {
     r.phases.insert(r.phases.end(), cells.begin(), cells.end());
   }
@@ -145,6 +152,7 @@ void Collector::reset() {
   request_sim_.clear();
   dispatch_.clear();
   timeline_.clear();
+  fleet_.clear();
   phases_.clear();
 }
 

@@ -56,6 +56,11 @@ class Collector {
   /// timeline per simulated grid point, last write wins).
   void record_timeline(const TimelineCell& cell);
 
+  /// Record one fleet-composition outcome (thread-safe; keyed by composition
+  /// label + router + mix, last write wins — fleet simulations are
+  /// deterministic, so concurrent writers for a key carry identical stats).
+  void record_fleet(const FleetCell& cell);
+
   /// Record one grid point's kernel-phase cells (thread-safe; keyed by the
   /// entry-key string, last write wins — the PMU is deterministic, so
   /// concurrent writers for a key carry identical cells). The vector keeps
@@ -88,6 +93,8 @@ class Collector {
                       std::string>,
            TimelineCell>
       timeline_;
+  std::map<std::tuple<std::string, std::string, std::string>, FleetCell>
+      fleet_;
   std::map<std::string, std::vector<PhaseCell>> phases_;
 };
 

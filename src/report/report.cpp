@@ -281,6 +281,32 @@ std::string RunReport::to_json() const {
            "}";
   }
   out += timeline.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"fleet\": [";
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const FleetCell& c = fleet[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"label\": " + json_quote(c.label);
+    out += ", \"router\": " + json_quote(c.router);
+    out += ", \"mix\": " + json_quote(c.mix);
+    out += ", \"chips\": " + std::to_string(c.chips);
+    out += ",\n     \"total_area_mm2\": " + json_number(c.total_area_mm2);
+    out += ", \"load_rps\": " + json_number(c.load_rps);
+    out += ", \"slo_cycles\": " + json_number(c.slo_cycles);
+    out += ",\n     \"offered\": " + std::to_string(c.offered);
+    out += ", \"completed\": " + std::to_string(c.completed);
+    out += ", \"dropped\": " + std::to_string(c.dropped);
+    out += ",\n     \"p50\": " + json_number(c.p50);
+    out += ", \"p99\": " + json_number(c.p99);
+    out += ", \"p999\": " + json_number(c.p999);
+    out += ", \"mean_latency\": " + json_number(c.mean_latency);
+    out += ",\n     \"utilization\": " + json_number(c.utilization);
+    out += ", \"slo_attainment\": " + json_number(c.slo_attainment);
+    out += ", \"mean_router_hop\": " + json_number(c.mean_router_hop);
+    out += ", \"meets_slo\": ";
+    out += c.meets_slo ? "true" : "false";
+    out += "}";
+  }
+  out += fleet.empty() ? "],\n" : "\n  ],\n";
   out += "  \"phases\": [";
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const PhaseCell& c = phases[i];
@@ -303,6 +329,7 @@ std::string RunReport::to_json() const {
          ", \"request_sim_cells\": " + std::to_string(request_sim.size()) +
          ", \"dispatch_cells\": " + std::to_string(dispatch.size()) +
          ", \"timeline_cells\": " + std::to_string(timeline.size()) +
+         ", \"fleet_cells\": " + std::to_string(fleet.size()) +
          ", \"phase_cells\": " + std::to_string(phases.size()) +
          ", \"cycles\": " + json_number(total_cycles()) + "}\n";
   out += "}\n";
@@ -532,6 +559,32 @@ RunReport report_from_json(const std::string& text) {
     }
   }
 
+  // Optional: only fleet-planner/fleet-CLI runs emit it.
+  if (const Json* fl = doc.find("fleet"); fl != nullptr) {
+    for (const Json& s : fl->array) {
+      FleetCell c;
+      c.label = str_at(s, "label");
+      c.router = str_at(s, "router");
+      c.mix = str_at(s, "mix");
+      c.chips = int_at(s, "chips");
+      c.total_area_mm2 = num_at(s, "total_area_mm2");
+      c.load_rps = num_at(s, "load_rps");
+      c.slo_cycles = num_at(s, "slo_cycles");
+      c.offered = static_cast<std::uint64_t>(num_at(s, "offered"));
+      c.completed = static_cast<std::uint64_t>(num_at(s, "completed"));
+      c.dropped = static_cast<std::uint64_t>(num_at(s, "dropped"));
+      c.p50 = num_at(s, "p50");
+      c.p99 = num_at(s, "p99");
+      c.p999 = num_at(s, "p999");
+      c.mean_latency = num_at(s, "mean_latency");
+      c.utilization = num_at(s, "utilization");
+      c.slo_attainment = num_at(s, "slo_attainment");
+      c.mean_router_hop = num_at(s, "mean_router_hop");
+      c.meets_slo = s.at("meets_slo").boolean;
+      r.fleet.push_back(std::move(c));
+    }
+  }
+
   // Optional: only kernprof-enabled runs emit it.
   if (const Json* ph = doc.find("phases"); ph != nullptr) {
     for (const Json& s : ph->array) {
@@ -743,6 +796,21 @@ std::string summarize(const RunReport& r) {
                     "%-44s %-16s %12.4g %6s %6s %6s %6s %6s%s\n",
                     c.key.c_str(), c.phase.c_str(), c.cycles, comp, mem, stall,
                     scal, l2m, share);
+      out += line;
+    }
+  }
+  if (!r.fleet.empty()) {
+    std::snprintf(line, sizeof line,
+                  "\n%-36s %-4s %5s %10s %10s %10s %6s %6s %4s\n", "fleet",
+                  "rtr", "chips", "area mm2", "p50cyc", "p99cyc", "util",
+                  "slo%", "ok");
+    out += line;
+    for (const FleetCell& c : r.fleet) {
+      std::snprintf(line, sizeof line,
+                    "%-36s %-4s %5d %10.1f %10.4g %10.4g %6.2f %6.2f %4s\n",
+                    c.label.c_str(), c.router.c_str(), c.chips,
+                    c.total_area_mm2, c.p50, c.p99, c.utilization,
+                    100.0 * c.slo_attainment, c.meets_slo ? "yes" : "no");
       out += line;
     }
   }

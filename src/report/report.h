@@ -148,6 +148,27 @@ struct PhaseCell {
   double mem_bytes = 0;
 };
 
+/// One fleet simulation's headline stats (mirrors serving::FleetStats'
+/// fleet-level aggregate + the composition it ran, without depending on
+/// src/serving/, which sits above the report layer in the link order).
+/// Latency fields are in cycles — presentation layers convert to ms.
+struct FleetCell {
+  std::string label;   ///< composition, e.g. "2xc4v2048l16i4+1xc1v512l1i1"
+  std::string router;  ///< routing policy label ("rr", "jsq", "p2c")
+  std::string mix;     ///< normalized traffic mix, e.g. "vgg16=0.70,yolo20=0.30"
+  int chips = 0;
+  double total_area_mm2 = 0;
+  double load_rps = 0;
+  double slo_cycles = 0;
+  std::uint64_t offered = 0, completed = 0, dropped = 0;
+  double p50 = 0, p99 = 0, p999 = 0;  ///< fleet latency, cycles
+  double mean_latency = 0;
+  double utilization = 0;       ///< over all instances, fleet makespan
+  double slo_attainment = 1;
+  double mean_router_hop = 0;   ///< mean front-end hop span, cycles
+  bool meets_slo = false;
+};
+
 struct ReportEntry {
   SweepRow row;
   Attribution attr;
@@ -164,6 +185,7 @@ struct RunReport {
   std::vector<RequestSimCell> request_sim;  ///< request-level serving stats
   std::vector<DispatchCell> dispatch;       ///< learned-dispatch outcomes
   std::vector<TimelineCell> timeline;       ///< per-point timeline digests
+  std::vector<FleetCell> fleet;             ///< fleet-composition outcomes
   std::vector<PhaseCell> phases;  ///< kernprof per-phase cells, key-sorted
 
   double total_cycles() const;

@@ -1,0 +1,638 @@
+#include "serving/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "obs/reqtrace.h"
+#include "obs/timeline.h"
+#include "report/json.h"
+
+namespace vlacnn::serving {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+bool ChipSpec::hosts(int model) const {
+  if (hosted_models.empty()) return true;
+  return std::find(hosted_models.begin(), hosted_models.end(), model) !=
+         hosted_models.end();
+}
+
+std::string ChipSpec::short_label() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "c%dv%ul%llui%d", point.cores,
+                point.vlen_bits,
+                static_cast<unsigned long long>(point.l2_total_bytes >> 20),
+                point.instances);
+  return buf;
+}
+
+int FleetTrafficMix::pick(std::uint64_t seq) const {
+  if (names.empty() || names.size() != shares.size()) {
+    throw std::invalid_argument(
+        "FleetTrafficMix: names and shares must be non-empty and same-sized");
+  }
+  double total = 0;
+  for (double s : shares) {
+    if (!(s > 0) || !std::isfinite(s)) {
+      throw std::invalid_argument(
+          "FleetTrafficMix: shares must be positive and finite");
+    }
+    total += s;
+  }
+  // Pure function of (seed, seq): one splitmix64 stream keyed by the request
+  // id, so the model of request k never depends on how many requests came
+  // before it — recomposing the fleet cannot reshuffle the traffic.
+  Rng rng(seed ^ (seq * 0x9e3779b97f4a7c15ull));
+  const double u = static_cast<double>(rng.next_float()) * total;
+  double acc = 0;
+  for (std::size_t m = 0; m + 1 < shares.size(); ++m) {
+    acc += shares[m];
+    if (u < acc) return static_cast<int>(m);
+  }
+  return static_cast<int>(shares.size()) - 1;
+}
+
+std::string FleetTrafficMix::to_string() const {
+  double total = 0;
+  for (double s : shares) total += s;
+  std::string out;
+  for (std::size_t m = 0; m < names.size(); ++m) {
+    if (!out.empty()) out += ',';
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "=%.2f",
+                  total > 0 ? shares[m] / total : 0.0);
+    out += names[m];
+    out += buf;
+  }
+  return out;
+}
+
+std::string FleetStats::to_json() const {
+  using report::json_number;
+  std::string out = "{\"fleet\": ";
+  out += fleet.to_json();
+  out += ", \"mean_router_hop\": " + json_number(mean_router_hop);
+  out += ", \"total_area_mm2\": " + json_number(total_area_mm2);
+  out += ", \"per_chip\": [";
+  for (std::size_t c = 0; c < per_chip.size(); ++c) {
+    if (c > 0) out += ", ";
+    out += "{\"chip\": " + std::to_string(c);
+    out += ", \"label\": \"";
+    out += c < chip_labels.size() ? chip_labels[c] : "";
+    out += "\", \"stats\": " + per_chip[c].to_json() + "}";
+  }
+  out += "], \"per_model\": [";
+  for (std::size_t m = 0; m < per_model.size(); ++m) {
+    const FleetModelStats& ms = per_model[m];
+    if (m > 0) out += ", ";
+    out += "{\"name\": \"" + ms.name + "\"";
+    out += ", \"offered\": " + std::to_string(ms.offered);
+    out += ", \"completed\": " + std::to_string(ms.completed);
+    out += ", \"dropped\": " + std::to_string(ms.dropped);
+    out += ", \"p50\": " + json_number(ms.p50);
+    out += ", \"p99\": " + json_number(ms.p99);
+    out += ", \"p999\": " + json_number(ms.p999);
+    out += ", \"mean_latency\": " + json_number(ms.mean_latency);
+    out += ", \"slo_attainment\": " + json_number(ms.slo_attainment);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+/// Per-chip mutable simulation state. Stats accumulators mirror the
+/// single-chip loop's locals, scoped to the requests this chip served.
+struct ChipState {
+  std::set<int> idle;  ///< idle instance ids
+  struct Queued {
+    double arrival;        ///< fleet arrival, cycles
+    double idle_at_join;   ///< chip idle-time integral when it joined
+    std::uint64_t seq;     ///< fleet trace id (1-based)
+    int model;
+  };
+  struct Member {
+    double arrival;
+    double formation_wait;  ///< measured at dispatch, clamped
+    std::uint64_t seq;
+    int model;
+  };
+  std::vector<std::deque<Queued>> queues;        ///< per model, FIFO
+  std::vector<std::vector<Member>> batch_members;  ///< per instance
+  std::vector<double> batch_dispatch;              ///< per instance
+  std::size_t queued_total = 0;
+
+  double idle_time = 0;    ///< integral of [some instance idle]
+  double queue_area = 0;   ///< integral of queued_total
+  double busy_cycles = 0;
+  double batch_images = 0;
+
+  ServingStats s;
+  std::vector<double> latencies;  ///< fleet latencies of this chip's requests
+  double wait_sum = 0, queue_wait_sum = 0, formation_sum = 0, service_sum = 0;
+};
+
+void finalize_stats(ServingStats& s, std::vector<double>& latencies,
+                    double wait_sum, double queue_wait_sum,
+                    double formation_sum, double service_sum,
+                    double batch_images, double makespan, double queue_area,
+                    double busy_cycles, int instances, double slo_cycles) {
+  s.completed = latencies.size();
+  s.makespan = makespan;
+  s.slo = slo_cycles;
+  if (s.batches > 0) {
+    s.mean_batch = batch_images / static_cast<double>(s.batches);
+  }
+  if (!latencies.empty()) {
+    double sum = 0;
+    for (double l : latencies) sum += l;
+    const double n = static_cast<double>(latencies.size());
+    s.mean_latency = sum / n;
+    s.mean_wait = wait_sum / n;
+    s.mean_queue_wait = queue_wait_sum / n;
+    s.mean_formation_wait = formation_sum / n;
+    s.mean_service = service_sum / n;
+    std::sort(latencies.begin(), latencies.end());
+    s.p50 = nearest_rank(latencies, 0.50);
+    s.p95 = nearest_rank(latencies, 0.95);
+    s.p99 = nearest_rank(latencies, 0.99);
+    s.p999 = nearest_rank(latencies, 0.999);
+    s.max_latency = latencies.back();
+  }
+  if (makespan > 0) {
+    s.mean_queue = queue_area / makespan;
+    s.utilization = busy_cycles / (static_cast<double>(instances) * makespan);
+  }
+  if (slo_cycles > 0 && s.offered > 0) {
+    const auto within =
+        std::upper_bound(latencies.begin(), latencies.end(), slo_cycles) -
+        latencies.begin();
+    s.slo_attainment =
+        static_cast<double>(within) / static_cast<double>(s.offered);
+  }
+}
+
+}  // namespace
+
+FleetStats simulate_fleet(const FleetConfig& cfg, ArrivalProcess& arrivals) {
+  const int C = static_cast<int>(cfg.chips.size());
+  const int M = static_cast<int>(cfg.mix.names.size());
+  if (C == 0) {
+    throw std::invalid_argument("simulate_fleet: need at least one chip");
+  }
+  if (M == 0 || cfg.mix.names.size() != cfg.mix.shares.size()) {
+    throw std::invalid_argument("simulate_fleet: inconsistent traffic mix");
+  }
+  if (!(cfg.router_hop_cycles >= 0) ||
+      !std::isfinite(cfg.router_hop_cycles)) {
+    throw std::invalid_argument(
+        "simulate_fleet: router hop must be finite and >= 0");
+  }
+  const double hop = cfg.router_hop_cycles;
+
+  // Placement: the ascending host list per model, validated up front so the
+  // router never sees an empty candidate set.
+  std::vector<std::vector<int>> hosts(static_cast<std::size_t>(M));
+  for (int c = 0; c < C; ++c) {
+    const FleetChip& chip = cfg.chips[static_cast<std::size_t>(c)];
+    if (chip.spec.point.instances < 1) {
+      throw std::invalid_argument("simulate_fleet: chip needs >= 1 instance");
+    }
+    if (chip.costs.size() != static_cast<std::size_t>(M)) {
+      throw std::invalid_argument(
+          "simulate_fleet: chip needs one cost model per mix model");
+    }
+    for (int m = 0; m < M; ++m) {
+      if (!chip.spec.hosts(m)) continue;
+      const BatchCostModel& bc = chip.costs[static_cast<std::size_t>(m)];
+      if (!(bc.first_image_cycles > 0) || !(bc.marginal_image_cycles >= 0)) {
+        throw std::invalid_argument(
+            "simulate_fleet: hosted model needs positive first-image and "
+            "non-negative marginal cycles");
+      }
+      hosts[static_cast<std::size_t>(m)].push_back(c);
+    }
+  }
+  for (int m = 0; m < M; ++m) {
+    if (hosts[static_cast<std::size_t>(m)].empty()) {
+      throw std::invalid_argument("simulate_fleet: model '" +
+                                  cfg.mix.names[static_cast<std::size_t>(m)] +
+                                  "' has no hosting chip");
+    }
+  }
+
+  // Per-(chip, model) batching policies: one fresh instance each, since
+  // policies may keep state (batching.h's one-per-simulation contract,
+  // applied per queue).
+  std::vector<std::vector<std::unique_ptr<BatchingPolicy>>> policies(
+      static_cast<std::size_t>(C));
+  std::vector<ChipState> chips(static_cast<std::size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    auto& cs = chips[static_cast<std::size_t>(c)];
+    const int inst = cfg.chips[static_cast<std::size_t>(c)].spec.point.instances;
+    for (int i = 0; i < inst; ++i) cs.idle.insert(i);
+    cs.queues.resize(static_cast<std::size_t>(M));
+    cs.batch_members.resize(static_cast<std::size_t>(inst));
+    cs.batch_dispatch.resize(static_cast<std::size_t>(inst), 0.0);
+    for (int m = 0; m < M; ++m) {
+      policies[static_cast<std::size_t>(c)].push_back(make_policy(cfg.policy));
+    }
+  }
+
+  const std::unique_ptr<FleetRouter> router =
+      make_router(cfg.router, static_cast<std::size_t>(M));
+  std::vector<std::uint64_t> outstanding(static_cast<std::size_t>(C), 0);
+
+  // One in-flight batch per busy (chip, instance), ordered by completion;
+  // ties pop the lowest (chip, instance) first.
+  struct InFlight {
+    double completion;
+    int chip;
+    int instance;
+    bool operator>(const InFlight& o) const {
+      if (completion != o.completion) return completion > o.completion;
+      if (chip != o.chip) return chip > o.chip;
+      return instance > o.instance;
+    }
+  };
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<InFlight>>
+      busy;
+
+  // Routed-but-not-yet-delivered requests. The hop is one constant, so
+  // delivery times are nondecreasing in routing order — a FIFO deque, no
+  // priority queue needed.
+  struct Transit {
+    double deliver;  ///< arrival + hop
+    double arrival;  ///< fleet arrival
+    std::uint64_t seq;
+    int model;
+    int chip;
+  };
+  std::deque<Transit> transit;
+
+  // Fleet-level accumulators.
+  FleetStats out;
+  ServingStats& fs = out.fleet;
+  std::vector<double> latencies;
+  double wait_sum = 0, queue_wait_sum = 0, formation_sum = 0, service_sum = 0;
+  double hop_sum = 0, fleet_batch_images = 0;
+  std::size_t total_queued = 0;
+  // Per-model accumulators.
+  std::vector<std::vector<double>> model_lat(static_cast<std::size_t>(M));
+  std::vector<std::uint64_t> model_offered(static_cast<std::size_t>(M), 0);
+  std::vector<std::uint64_t> model_dropped(static_cast<std::size_t>(M), 0);
+  double now = 0;
+  std::optional<double> pending;
+  if (cfg.request_log != nullptr) cfg.request_log->clear();
+
+  // Observability: one timeline recorder per chip (queue/utilization/SLO-burn
+  // resolved per chip), one request-trace recorder for the whole fleet (trace
+  // ids are fleet-wide). Sink labels derive from cfg.label below.
+  std::vector<std::unique_ptr<obs::TimelineRecorder>> recs;
+  if (obs::timeline_enabled()) {
+    for (int c = 0; c < C; ++c) {
+      obs::TimelineConfig tcfg = obs::default_timeline_config(
+          cfg.chips[static_cast<std::size_t>(c)].spec.point.instances,
+          cfg.slo_cycles);
+      tcfg.attainment_target = cfg.attainment_target;
+      if (cfg.expected_horizon_cycles > 0 &&
+          !obs::timeline_interval_overridden()) {
+        tcfg.interval_cycles = std::max(
+            tcfg.interval_cycles, cfg.expected_horizon_cycles / 256.0);
+      }
+      recs.push_back(std::make_unique<obs::TimelineRecorder>(tcfg));
+    }
+  }
+  std::unique_ptr<obs::RequestTraceRecorder> rrec;
+  if (obs::reqtrace_enabled()) {
+    rrec = std::make_unique<obs::RequestTraceRecorder>(
+        obs::default_reqtrace_config(cfg.slo_cycles));
+  }
+  const std::vector<obs::TraceNote> no_notes;
+
+  auto poll = [&] {
+    if (!pending.has_value()) pending = arrivals.next_arrival();
+  };
+  auto advance = [&](double t_new) {
+    const double dt = t_new - now;
+    for (auto& cs : chips) {
+      cs.queue_area += static_cast<double>(cs.queued_total) * dt;
+      if (!cs.idle.empty()) cs.idle_time += dt;
+    }
+    now = t_new;
+  };
+
+  // A routed request reaches its chip's queue (the hop elapsed — or was zero).
+  auto enqueue = [&](double arrival, std::uint64_t seq, int model, int chip) {
+    ChipState& cs = chips[static_cast<std::size_t>(chip)];
+    ++cs.s.offered;
+    if (cfg.queue_capacity > 0 && cs.queued_total >= cfg.queue_capacity) {
+      ++fs.dropped;
+      ++cs.s.dropped;
+      ++model_dropped[static_cast<std::size_t>(model)];
+      --outstanding[static_cast<std::size_t>(chip)];
+      if (!recs.empty()) recs[static_cast<std::size_t>(chip)]->on_drop(now);
+      if (rrec != nullptr) rrec->on_drop(seq, now);
+      arrivals.on_completion(now);  // a rejection is still a response
+      return;
+    }
+    cs.queues[static_cast<std::size_t>(model)].push_back(
+        {arrival, cs.idle_time, seq, model});
+    ++cs.queued_total;
+    ++total_queued;
+    if (!recs.empty()) recs[static_cast<std::size_t>(chip)]->on_arrival(now);
+    if (static_cast<double>(cs.queued_total) > cs.s.max_queue) {
+      cs.s.max_queue = static_cast<double>(cs.queued_total);
+    }
+    if (static_cast<double>(total_queued) > fs.max_queue) {
+      fs.max_queue = static_cast<double>(total_queued);
+    }
+  };
+
+  auto try_dispatch = [&]() -> bool {
+    bool dispatched = false;
+    while (true) {
+      // Among all (chip, model) queues the policy would dispatch from right
+      // now, serve the one whose head joined earliest; ties go to the lowest
+      // (chip, model) — the scan order below — so the pick is deterministic.
+      int bc = -1, bm = -1, bn = 0;
+      double best_join = kInf;
+      for (int c = 0; c < C; ++c) {
+        ChipState& cs = chips[static_cast<std::size_t>(c)];
+        if (cs.idle.empty()) continue;
+        for (int m = 0; m < M; ++m) {
+          auto& q = cs.queues[static_cast<std::size_t>(m)];
+          if (q.empty()) continue;
+          const double join = q.front().arrival + hop;
+          const int n = policies[static_cast<std::size_t>(c)]
+                            [static_cast<std::size_t>(m)]
+                                ->dispatch_size(q.size(), join, now);
+          if (n <= 0) continue;
+          if (join < best_join) {
+            best_join = join;
+            bc = c;
+            bm = m;
+            bn = n;
+          }
+        }
+      }
+      if (bc < 0) break;
+      ChipState& cs = chips[static_cast<std::size_t>(bc)];
+      auto& q = cs.queues[static_cast<std::size_t>(bm)];
+      int n = bn;
+      if (static_cast<std::size_t>(n) > q.size()) {
+        n = static_cast<int>(q.size());
+      }
+      const int inst = *cs.idle.begin();
+      cs.idle.erase(cs.idle.begin());
+      auto& members = cs.batch_members[static_cast<std::size_t>(inst)];
+      members.clear();
+      for (int i = 0; i < n; ++i) {
+        const ChipState::Queued& qr = q.front();
+        const double wait = now - qr.arrival;  // fleet wait, hop included
+        wait_sum += wait;
+        cs.wait_sum += wait;
+        const double chip_wait = now - (qr.arrival + hop);
+        double fw = cs.idle_time - qr.idle_at_join;
+        if (fw < 0) fw = 0;
+        if (fw > chip_wait) fw = chip_wait > 0 ? chip_wait : 0;
+        members.push_back({qr.arrival, fw, qr.seq, qr.model});
+        q.pop_front();
+        --cs.queued_total;
+        --total_queued;
+      }
+      cs.batch_dispatch[static_cast<std::size_t>(inst)] = now;
+      const double service =
+          cfg.chips[static_cast<std::size_t>(bc)]
+              .costs[static_cast<std::size_t>(bm)]
+              .service_cycles(n);
+      if (!(service > 0) || !std::isfinite(service)) {
+        throw std::logic_error(
+            "simulate_fleet: cost model returned a non-positive or "
+            "non-finite batch time");
+      }
+      busy.push({now + service, bc, inst});
+      cs.busy_cycles += service;
+      ++cs.s.batches;
+      ++fs.batches;
+      cs.batch_images += n;
+      fleet_batch_images += n;
+      dispatched = true;
+      if (!recs.empty()) {
+        recs[static_cast<std::size_t>(bc)]->on_dispatch(now, n);
+      }
+    }
+    return dispatched;
+  };
+
+  poll();
+  while (true) {
+    const double tc = busy.empty() ? kInf : busy.top().completion;
+    const double tq = transit.empty() ? kInf : transit.front().deliver;
+    const double ta = pending.has_value() ? *pending : kInf;
+    double td = kInf;
+    for (int c = 0; c < C; ++c) {
+      ChipState& cs = chips[static_cast<std::size_t>(c)];
+      if (cs.idle.empty()) continue;
+      for (int m = 0; m < M; ++m) {
+        const auto& q = cs.queues[static_cast<std::size_t>(m)];
+        if (q.empty()) continue;
+        const double d = policies[static_cast<std::size_t>(c)]
+                             [static_cast<std::size_t>(m)]
+                                 ->flush_deadline(q.size(),
+                                                  q.front().arrival + hop);
+        td = std::min(td, std::max(d, now));
+      }
+    }
+    const double t_next = std::min({tc, tq, ta, td});
+    if (t_next == kInf) break;
+    advance(t_next);
+
+    // Tie order at equal timestamps: completions free instances first,
+    // router-hop deliveries join queues second, new arrivals are routed
+    // third, policy flushes run last — fixed, so the fleet-wide event
+    // sequence (and every stat) is reproducible.
+    if (tc <= t_next) {
+      const InFlight f = busy.top();
+      busy.pop();
+      ChipState& cs = chips[static_cast<std::size_t>(f.chip)];
+      const std::size_t fi = static_cast<std::size_t>(f.instance);
+      const double dispatched_at = cs.batch_dispatch[fi];
+      const auto& members = cs.batch_members[fi];
+      for (const ChipState::Member& m : members) {
+        const double lat = now - m.arrival;
+        // Exact four-span attribution, a chain of Sterbenz splits: latency
+        // into pre-dispatch vs service, pre-dispatch into hop vs on-chip
+        // wait, the wait into queue vs formation. Left-to-right,
+        //   (hop + (qw + fw)) + service == lat bit-exactly.
+        const auto [pre, service_c] =
+            exact_split(lat, dispatched_at - m.arrival);
+        const auto [hop_c, wait_c] = exact_split(pre, hop);
+        const auto [qw, fw] = exact_split(wait_c, wait_c - m.formation_wait);
+        latencies.push_back(lat);
+        cs.latencies.push_back(lat);
+        model_lat[static_cast<std::size_t>(m.model)].push_back(lat);
+        hop_sum += hop_c;
+        queue_wait_sum += qw;
+        formation_sum += fw;
+        service_sum += service_c;
+        cs.queue_wait_sum += qw;
+        cs.formation_sum += fw;
+        cs.service_sum += service_c;
+        const bool within = cfg.slo_cycles <= 0 || lat <= cfg.slo_cycles;
+        if (cfg.request_log != nullptr) {
+          cfg.request_log->push_back(
+              {m.model, f.chip, hop_c,
+               {m.arrival, dispatched_at, now, qw, fw, service_c, within}});
+        }
+        if (!recs.empty()) {
+          recs[static_cast<std::size_t>(f.chip)]->on_completion(now, lat,
+                                                                within);
+        }
+        if (rrec != nullptr) {
+          rrec->on_completion_routed(m.seq, m.arrival, dispatched_at, now,
+                                     hop_c, qw, fw, service_c, within,
+                                     static_cast<int>(members.size()), f.chip,
+                                     f.instance, no_notes);
+        }
+        arrivals.on_completion(now);
+      }
+      outstanding[static_cast<std::size_t>(f.chip)] -= members.size();
+      cs.idle.insert(f.instance);
+      if (!recs.empty()) {
+        recs[static_cast<std::size_t>(f.chip)]->on_batch_done(now);
+      }
+      try_dispatch();
+      poll();
+      continue;
+    }
+    if (tq <= t_next) {
+      const Transit tr = transit.front();
+      transit.pop_front();
+      enqueue(tr.arrival, tr.seq, tr.model, tr.chip);
+      try_dispatch();
+      poll();
+      continue;
+    }
+    if (ta <= t_next) {
+      ++fs.offered;
+      const std::uint64_t seq = fs.offered;
+      const int model = cfg.mix.pick(seq);
+      ++model_offered[static_cast<std::size_t>(model)];
+      const int chip = router->route(
+          model, hosts[static_cast<std::size_t>(model)], outstanding);
+      ++outstanding[static_cast<std::size_t>(chip)];
+      pending.reset();
+      poll();
+      if (hop == 0) {
+        enqueue(now, seq, model, chip);
+        try_dispatch();
+      } else {
+        transit.push_back({now + hop, now, seq, model, chip});
+      }
+      continue;
+    }
+    // Flush deadline: some policy named this cycle, so it must dispatch now.
+    if (!try_dispatch()) {
+      throw std::logic_error(
+          "simulate_fleet: batching policy refused to dispatch at its own "
+          "flush deadline");
+    }
+  }
+  for (const ChipState& cs : chips) {
+    if (cs.queued_total != 0) {
+      throw std::logic_error(
+          "simulate_fleet: batching policy left requests queued forever "
+          "(flush_deadline returned +inf with idle instances)");
+    }
+  }
+
+  // Finalize: fleet aggregate, then per-chip (fleet makespan, so chip
+  // utilizations are comparable), then per-model slices.
+  double queue_area = 0, busy_cycles = 0;
+  int total_instances = 0;
+  for (int c = 0; c < C; ++c) {
+    const ChipState& cs = chips[static_cast<std::size_t>(c)];
+    queue_area += cs.queue_area;
+    busy_cycles += cs.busy_cycles;
+    total_instances += cfg.chips[static_cast<std::size_t>(c)].spec.point.instances;
+    out.total_area_mm2 += cfg.chips[static_cast<std::size_t>(c)].area_mm2;
+  }
+  if (!latencies.empty()) {
+    out.mean_router_hop = hop_sum / static_cast<double>(latencies.size());
+  }
+  finalize_stats(fs, latencies, wait_sum, queue_wait_sum, formation_sum,
+                 service_sum, fleet_batch_images, now, queue_area, busy_cycles,
+                 total_instances, cfg.slo_cycles);
+  out.per_chip.resize(static_cast<std::size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    ChipState& cs = chips[static_cast<std::size_t>(c)];
+    finalize_stats(cs.s, cs.latencies, cs.wait_sum, cs.queue_wait_sum,
+                   cs.formation_sum, cs.service_sum, cs.batch_images, now,
+                   cs.queue_area, cs.busy_cycles,
+                   cfg.chips[static_cast<std::size_t>(c)].spec.point.instances,
+                   cfg.slo_cycles);
+    out.per_chip[static_cast<std::size_t>(c)] = cs.s;
+    out.chip_labels.push_back(
+        cfg.chips[static_cast<std::size_t>(c)].spec.short_label());
+  }
+  for (int m = 0; m < M; ++m) {
+    FleetModelStats ms;
+    ms.name = cfg.mix.names[static_cast<std::size_t>(m)];
+    ms.offered = model_offered[static_cast<std::size_t>(m)];
+    ms.dropped = model_dropped[static_cast<std::size_t>(m)];
+    auto& lat = model_lat[static_cast<std::size_t>(m)];
+    ms.completed = lat.size();
+    if (!lat.empty()) {
+      double sum = 0;
+      for (double l : lat) sum += l;
+      ms.mean_latency = sum / static_cast<double>(lat.size());
+      std::sort(lat.begin(), lat.end());
+      ms.p50 = nearest_rank(lat, 0.50);
+      ms.p99 = nearest_rank(lat, 0.99);
+      ms.p999 = nearest_rank(lat, 0.999);
+    }
+    if (cfg.slo_cycles > 0 && ms.offered > 0) {
+      const auto within =
+          std::upper_bound(lat.begin(), lat.end(), cfg.slo_cycles) -
+          lat.begin();
+      ms.slo_attainment =
+          static_cast<double>(within) / static_cast<double>(ms.offered);
+    }
+    out.per_model.push_back(std::move(ms));
+  }
+
+  if (rrec != nullptr) {
+    rrec->finish();
+    obs::ReqTraceSink& rsink = obs::ReqTraceSink::global();
+    const std::string rlabel =
+        cfg.label.empty() ? rsink.next_auto_label() : cfg.label;
+    rsink.record(rlabel, rrec->to_jsonl());
+  }
+  if (!recs.empty()) {
+    obs::TimelineSink& sink = obs::TimelineSink::global();
+    const std::string base =
+        cfg.label.empty() ? sink.next_auto_label() : cfg.label;
+    for (int c = 0; c < C; ++c) {
+      recs[static_cast<std::size_t>(c)]->finish(fs.makespan);
+      char suffix[16];
+      std::snprintf(suffix, sizeof suffix, "/chip%02d", c);
+      sink.record(base + suffix,
+                  recs[static_cast<std::size_t>(c)]->to_jsonl());
+    }
+  }
+  return out;
+}
+
+}  // namespace vlacnn::serving

@@ -1,0 +1,113 @@
+// Front-end load-balancing policies for the multi-chip fleet simulator
+// (serving/fleet.h, DESIGN.md §15).
+//
+// A FleetRouter decides, for every request the fleet-level arrival process
+// produces, which chip's queue the request joins — restricted to the chips
+// that actually host the request's model (per-model placement). Policies are
+// deterministic: the stochastic one (power-of-two-choices) draws from the
+// repo's seeded splitmix64 Rng, never from wall clock or std:: distributions,
+// so a (policy, seed) pair replays the exact same routing on every run,
+// platform, and VLACNN_THREADS setting — the fleet loop itself is
+// single-threaded, and parallel planners run one router per simulation.
+//
+// The load signal every policy sees is the per-chip *outstanding* count:
+// requests routed to the chip and not yet completed or dropped (queued +
+// in transit + in service). It is maintained by the event loop, so routing
+// decisions are a pure function of the deterministic event history.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vlacnn::serving {
+
+/// Value-type description of a router policy, used by the fleet planner and
+/// the CLI to build one fresh router per simulated fleet.
+struct RouterSpec {
+  enum class Kind {
+    kRoundRobin,        ///< per-model rotation over the hosting chips
+    kJoinShortestQueue, ///< fewest outstanding requests, ties to lowest chip
+    kPowerOfTwo,        ///< two seeded draws, fewer outstanding wins
+  };
+  Kind kind = Kind::kJoinShortestQueue;
+  std::uint64_t seed = 1;  ///< p2c draws and tie-breaks; rr/jsq ignore it
+};
+
+/// Parse "rr" | "jsq" | "p2c" (the CLI spelling). Throws
+/// std::invalid_argument on anything else.
+RouterSpec::Kind router_kind_from_string(const std::string& s);
+
+/// The fleet-wide router seed: VLACNN_FLEET_SEED when set (throws
+/// std::runtime_error on a malformed value — a typo must not silently change
+/// a run's routing), else 1. CLI flags override this per run.
+std::uint64_t default_fleet_seed();
+
+/// Request-to-chip routing decision logic. Stateful (rotation counters, the
+/// p2c Rng) but not thread-safe: one router per fleet simulation, like the
+/// arrival process. route() is called once per offered request, in fleet
+/// arrival order — the deterministic event order every stat depends on.
+class FleetRouter {
+ public:
+  virtual ~FleetRouter() = default;
+
+  /// Pick the chip for one request of `model`. `hosts` lists the chips that
+  /// host the model (ascending chip indices, never empty — the fleet config
+  /// validates placement up front); `outstanding[chip]` counts requests
+  /// routed to that chip and not yet resolved. Returns an element of `hosts`.
+  virtual int route(int model, const std::vector<int>& hosts,
+                    const std::vector<std::uint64_t>& outstanding) = 0;
+
+  /// Stable label for reports and JSON ("rr", "jsq", "p2c").
+  virtual std::string name() const = 0;
+};
+
+/// Per-model rotation over the hosting chips: model m's k-th request goes to
+/// hosts[k mod hosts.size()]. Ignores load entirely — the baseline every
+/// load-aware policy is measured against.
+class RoundRobinRouter final : public FleetRouter {
+ public:
+  explicit RoundRobinRouter(std::size_t num_models);
+  int route(int model, const std::vector<int>& hosts,
+            const std::vector<std::uint64_t>& outstanding) override;
+  std::string name() const override { return "rr"; }
+
+ private:
+  std::vector<std::uint64_t> next_;  ///< per-model rotation counter
+};
+
+/// Join-shortest-queue: the hosting chip with the fewest outstanding
+/// requests; ties go to the lowest chip index. The omniscient-load baseline —
+/// real front-ends approximate it, the simulator can afford the exact signal.
+class JoinShortestQueueRouter final : public FleetRouter {
+ public:
+  int route(int model, const std::vector<int>& hosts,
+            const std::vector<std::uint64_t>& outstanding) override;
+  std::string name() const override { return "jsq"; }
+};
+
+/// Power-of-two-choices (Mitzenmacher): draw two hosting chips with the
+/// seeded Rng and route to the one with fewer outstanding requests; an exact
+/// tie is broken by a seeded coin flip, not by chip index, so neither chip of
+/// the pair is structurally favoured. With one host the draw degenerates to
+/// that host. Same seed ⇒ identical draw sequence ⇒ byte-identical stats.
+class PowerOfTwoRouter final : public FleetRouter {
+ public:
+  explicit PowerOfTwoRouter(std::uint64_t seed);
+  int route(int model, const std::vector<int>& hosts,
+            const std::vector<std::uint64_t>& outstanding) override;
+  std::string name() const override { return "p2c"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Instantiate the router a RouterSpec describes. `num_models` sizes the
+/// round-robin rotation state; the other kinds ignore it.
+std::unique_ptr<FleetRouter> make_router(const RouterSpec& spec,
+                                         std::size_t num_models);
+
+}  // namespace vlacnn::serving

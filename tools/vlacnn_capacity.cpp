@@ -42,6 +42,26 @@
 //                             `vlacnn-report requests FILE`. Byte-stable
 //                             across runs and VLACNN_THREADS.
 //
+// Fleet mode (DESIGN.md §15):
+//
+//   vlacnn-capacity fleet --mix vgg16=0.7,yolo20=0.3 --load 3000 --slo 60ms
+//
+// Searches multi-chip fleet compositions (chip types drawn from the
+// area/throughput Pareto frontier, up to --max-chips chips) for the cheapest
+// total silicon that carries the mixed Poisson load inside the SLO, routed by
+// a pluggable front-end policy. Fleet-only flags:
+//   --mix NAME=W[,NAME=W...]  traffic mix over vgg16/yolo20 with positive
+//                             weights (default vgg16=0.7,yolo20=0.3)
+//   --router rr|jsq|p2c       routing policy (default jsq)
+//   --fleet-seed N            router seed (default VLACNN_FLEET_SEED, else 1)
+//   --hop N                   constant front-end hop, cycles (default 0)
+//   --max-chips N             largest fleet size searched (default 4)
+//   --chip-types N            Pareto menu size (default 5)
+// Shared flags (--load/--slo/--attainment/--requests/--seed/--policy/
+// --max-batch/--flush-ms/--queue/--area-budget/--json/--timeline/--reqtrace)
+// keep their single-chip meaning; --json emits a vlacnn.fleet.v1 document,
+// byte-identical across runs and VLACNN_THREADS.
+//
 // Exit codes: 0 = a configuration meets the SLO, 1 = infeasible (or another
 // runtime failure), 2 = usage error (bad flag/value; usage goes to stderr).
 //
@@ -66,6 +86,7 @@
 #include "net/models.h"
 #include "report/collector.h"
 #include "report/json.h"
+#include "serving/fleet_planner.h"
 #include "serving/request_sim.h"
 #include "sweep/results_db.h"
 #include "sweep/sweep.h"
@@ -130,6 +151,294 @@ std::string candidate_json(const CapacityCandidate& c) {
   return out;
 }
 
+int fleet_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s fleet [--mix NAME=W[,NAME=W...]] [--load N[rps]]\n"
+               "          [--slo N[ms]] [--attainment F] [--requests N]\n"
+               "          [--seed N] [--router rr|jsq|p2c] [--fleet-seed N]\n"
+               "          [--hop N] [--max-chips N] [--chip-types N]\n"
+               "          [--policy nobatch|maxbatch|adaptive] [--max-batch N]\n"
+               "          [--flush-ms F] [--queue N] [--area-budget F]\n"
+               "          [--json FILE] [--timeline FILE] [--reqtrace FILE]\n",
+               argv0);
+  return 2;
+}
+
+/// Parse "vgg16=0.7,yolo20=0.3" into a FleetTrafficMix (names + weights;
+/// normalization happens in the mix itself). Throws on anything malformed.
+serving::FleetTrafficMix parse_mix(const std::string& text) {
+  serving::FleetTrafficMix mix;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string term = text.substr(pos, comma - pos);
+    const std::size_t eq = term.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= term.size()) {
+      throw std::runtime_error("--mix expects NAME=WEIGHT terms, got '" +
+                               term + "'");
+    }
+    const std::string name = term.substr(0, eq);
+    double w = 0;
+    try {
+      w = std::stod(term.substr(eq + 1));
+    } catch (const std::exception&) {
+      w = 0;
+    }
+    if (!(w > 0)) {
+      throw std::runtime_error("--mix weight for '" + name +
+                               "' must be positive");
+    }
+    mix.names.push_back(name);
+    mix.shares.push_back(w);
+    pos = comma + 1;
+  }
+  if (mix.names.empty()) throw std::runtime_error("--mix is empty");
+  return mix;
+}
+
+std::string fleet_candidate_json(const serving::FleetCandidate& c) {
+  using report::json_number;
+  using report::json_quote;
+  std::string out = "{";
+  out += "\"label\": " + json_quote(c.label);
+  out += ", \"counts\": [";
+  for (std::size_t i = 0; i < c.counts.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(c.counts[i]);
+  }
+  out += "]";
+  out += ", \"total_area_mm2\": " + json_number(c.total_area_mm2);
+  out += ", \"simulated\": " + std::string(c.simulated ? "true" : "false");
+  out += ", \"meets_slo\": " + std::string(c.meets_slo ? "true" : "false");
+  out += ", \"stats\": ";
+  out += c.simulated ? c.stats.to_json() : "null";
+  out += "}";
+  return out;
+}
+
+/// The `fleet` subcommand: search fleet compositions for the cheapest total
+/// silicon meeting the mixed-traffic SLO. argv[1] == "fleet" already checked.
+int run_fleet(int argc, char** argv) {
+  std::string mix_text = "vgg16=0.7,yolo20=0.3";
+  std::string json_path;
+  serving::FleetQuery q;
+  q.policy = {BatchPolicySpec::Kind::kAdaptive, 8, 2e6};  // 1 ms at 2 GHz
+  std::string policy_name = "adaptive";
+  std::string router_name = "jsq";
+  double flush_ms = 1.0;
+  bool fleet_seed_set = false;
+  serving::FleetTrafficMix mix;
+
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw std::runtime_error(flag + " expects a value");
+        }
+        return argv[++i];
+      };
+      if (flag == "--mix") {
+        mix_text = next();
+      } else if (flag == "--load") {
+        q.load_rps = suffixed("--load", next(), "rps");
+      } else if (flag == "--slo") {
+        q.slo_ms = suffixed("--slo", next(), "ms");
+      } else if (flag == "--attainment") {
+        q.attainment_target = std::atof(next());
+      } else if (flag == "--requests") {
+        q.requests = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--seed") {
+        q.seed = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--router") {
+        router_name = next();
+      } else if (flag == "--fleet-seed") {
+        q.router.seed = std::strtoull(next(), nullptr, 10);
+        fleet_seed_set = true;
+      } else if (flag == "--hop") {
+        q.router_hop_cycles = std::atof(next());
+      } else if (flag == "--max-chips") {
+        q.max_chips = std::atoi(next());
+      } else if (flag == "--chip-types") {
+        q.max_chip_types = std::atoi(next());
+      } else if (flag == "--policy") {
+        policy_name = next();
+      } else if (flag == "--max-batch") {
+        q.policy.max_batch = std::atoi(next());
+      } else if (flag == "--flush-ms") {
+        flush_ms = suffixed("--flush-ms", next(), "ms");
+      } else if (flag == "--queue") {
+        q.queue_capacity = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--area-budget") {
+        q.area_budget_mm2 = std::atof(next());
+      } else if (flag == "--json") {
+        json_path = next();
+      } else if (flag == "--timeline") {
+        vlacnn::obs::set_timeline_path(next());
+      } else if (flag == "--reqtrace") {
+        vlacnn::obs::set_reqtrace_path(next());
+      } else {
+        std::fprintf(stderr, "vlacnn-capacity: unknown fleet flag '%s'\n",
+                     flag.c_str());
+        return fleet_usage(argv[0]);
+      }
+    }
+    if (policy_name == "nobatch") {
+      q.policy.kind = BatchPolicySpec::Kind::kNoBatch;
+    } else if (policy_name == "maxbatch") {
+      q.policy.kind = BatchPolicySpec::Kind::kMaxBatch;
+    } else if (policy_name == "adaptive") {
+      q.policy.kind = BatchPolicySpec::Kind::kAdaptive;
+    } else {
+      throw std::runtime_error("unknown --policy '" + policy_name + "'");
+    }
+    q.policy.timeout_cycles = flush_ms * 1e-3 * q.clock_hz;
+    q.router.kind = serving::router_kind_from_string(router_name);
+    if (!fleet_seed_set) q.router.seed = serving::default_fleet_seed();
+    if (!(q.attainment_target > 0) || q.attainment_target > 1 ||
+        q.requests == 0 || q.policy.max_batch < 1 || q.max_chips < 1 ||
+        q.max_chip_types < 1 || !(q.router_hop_cycles >= 0)) {
+      throw std::runtime_error("invalid query parameters");
+    }
+    // Mix syntax and model names are part of the command line: a typo is a
+    // usage error (exit 2), same as --net on the single-chip path.
+    mix = parse_mix(mix_text);
+    mix.seed = q.seed;
+    for (const std::string& name : mix.names) {
+      if (name != "vgg16" && name != "yolo20") {
+        throw std::runtime_error("unknown mix model '" + name +
+                                 "' (vgg16 or yolo20)");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vlacnn-capacity: %s\n", e.what());
+    return fleet_usage(argv[0]);
+  }
+
+  try {
+    std::vector<Network> nets;
+    for (const std::string& name : mix.names) {
+      nets.push_back(name == "vgg16" ? make_vgg16(224)
+                                     : make_yolov3(20, 608));
+    }
+
+    report::arm_exit_report("fleet plan");
+
+    ResultsDb db(default_results_path());
+    SweepDriver driver(&db);
+    serving::FleetPlanner planner(&driver);
+
+    std::printf("fleet plan: mix %s, %.0f req/s Poisson, %.0f ms SLO at "
+                "p%.4g, router %s (seed %llu), <= %d chips over %d types\n",
+                mix.to_string().c_str(), q.load_rps, q.slo_ms,
+                q.attainment_target * 100.0, router_name.c_str(),
+                static_cast<unsigned long long>(q.router.seed), q.max_chips,
+                q.max_chip_types);
+
+    const serving::FleetPlan plan = planner.plan(nets, mix, q);
+
+    std::size_t simulated = 0, feasible = 0;
+    for (const auto& c : plan.candidates) {
+      simulated += c.simulated ? 1 : 0;
+      feasible += c.meets_slo ? 1 : 0;
+    }
+    std::printf("%zu compositions enumerated over %zu chip types "
+                "(%zu simulated, %zu pruned); %zu meet the SLO%s\n",
+                plan.candidates.size(), plan.chip_types.size(), simulated,
+                plan.candidates.size() - simulated, feasible,
+                q.area_budget_mm2 > 0 ? " inside the area budget" : "");
+
+    auto print_best = [&](const char* tag,
+                          const std::optional<serving::FleetCandidate>& b) {
+      if (!b.has_value()) {
+        std::printf("%s: none meets the SLO at this load\n", tag);
+        return;
+      }
+      const ServingStats& s = b->stats.fleet;
+      std::printf("%s: %s = %.2f mm2 (7nm)\n", tag, b->label.c_str(),
+                  b->total_area_mm2);
+      std::printf("  p50 %.2f ms, p99 %.2f ms, p99.9 %.2f ms @ 2GHz, "
+                  "attainment %.2f%%, utilization %.1f%%, mean hop %.4g cyc\n",
+                  ServingStats::ms(s.p50, q.clock_hz),
+                  ServingStats::ms(s.p99, q.clock_hz),
+                  ServingStats::ms(s.p999, q.clock_hz),
+                  s.slo_attainment * 100.0, s.utilization * 100.0,
+                  b->stats.mean_router_hop);
+    };
+    print_best("cheapest fleet", plan.best);
+    print_best("cheapest homogeneous", plan.best_homogeneous);
+    if (plan.best.has_value() && plan.best_homogeneous.has_value() &&
+        plan.best_homogeneous->total_area_mm2 > plan.best->total_area_mm2) {
+      std::printf("heterogeneity saves %.2f mm2 (%.1f%%)\n",
+                  plan.best_homogeneous->total_area_mm2 -
+                      plan.best->total_area_mm2,
+                  100.0 * (1.0 - plan.best->total_area_mm2 /
+                                     plan.best_homogeneous->total_area_mm2));
+    }
+
+    if (!json_path.empty()) {
+      using report::json_number;
+      using report::json_quote;
+      std::string out = "{\n  \"schema\": \"vlacnn.fleet.v1\",\n";
+      out += "  \"mix\": " + json_quote(mix.to_string()) + ",\n";
+      out += "  \"query\": {\"load_rps\": " + json_number(q.load_rps);
+      out += ", \"slo_ms\": " + json_number(q.slo_ms);
+      out += ", \"attainment_target\": " + json_number(q.attainment_target);
+      out += ", \"requests\": " + std::to_string(q.requests);
+      out += ", \"seed\": " + std::to_string(q.seed);
+      out += ", \"router\": " + json_quote(router_name);
+      out += ", \"fleet_seed\": " + std::to_string(q.router.seed);
+      out += ", \"router_hop_cycles\": " + json_number(q.router_hop_cycles);
+      out += ", \"max_chips\": " + std::to_string(q.max_chips);
+      out += ", \"chip_types\": " + std::to_string(q.max_chip_types);
+      out += ", \"policy\": " + json_quote(policy_name);
+      out += ", \"max_batch\": " + std::to_string(q.policy.max_batch);
+      out += ", \"flush_ms\": " + json_number(flush_ms);
+      out += ", \"queue_capacity\": " + std::to_string(q.queue_capacity);
+      out += ", \"area_budget_mm2\": " + json_number(q.area_budget_mm2);
+      out += "},\n  \"chip_types\": [\n";
+      for (std::size_t i = 0; i < plan.chip_types.size(); ++i) {
+        out += "    " + point_json(plan.chip_types[i]);
+        if (i + 1 < plan.chip_types.size()) out += ",";
+        out += "\n";
+      }
+      out += "  ],\n  \"candidates\": [\n";
+      for (std::size_t i = 0; i < plan.candidates.size(); ++i) {
+        out += "    " + fleet_candidate_json(plan.candidates[i]);
+        if (i + 1 < plan.candidates.size()) out += ",";
+        out += "\n";
+      }
+      out += "  ],\n  \"best\": ";
+      out += plan.best.has_value() ? fleet_candidate_json(*plan.best) : "null";
+      out += ",\n  \"best_homogeneous\": ";
+      out += plan.best_homogeneous.has_value()
+                 ? fleet_candidate_json(*plan.best_homogeneous)
+                 : "null";
+      out += "\n}\n";
+      std::ofstream f(json_path, std::ios::trunc);
+      if (!f) throw std::runtime_error("cannot write " + json_path);
+      f << out;
+      std::printf("wrote %s (%zu candidates)\n", json_path.c_str(),
+                  plan.candidates.size());
+    }
+    if (vlacnn::obs::timeline_enabled()) {
+      std::printf("timeline: %zu run blocks -> %s (written at exit)\n",
+                  vlacnn::obs::TimelineSink::global().block_count(),
+                  vlacnn::obs::timeline_path().c_str());
+    }
+    if (vlacnn::obs::reqtrace_enabled()) {
+      std::printf("reqtrace: %zu run blocks -> %s (written at exit)\n",
+                  vlacnn::obs::ReqTraceSink::global().block_count(),
+                  vlacnn::obs::reqtrace_path().c_str());
+    }
+    return plan.best.has_value() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vlacnn-capacity: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,6 +446,9 @@ int main(int argc, char** argv) {
   // on a bad CLI value still flushes its VLACNN_TRACE/VLACNN_METRICS output
   // (the tracer only writes if its singleton was constructed before exit).
   vlacnn::obs::install_exit_report();
+  if (argc > 1 && std::strcmp(argv[1], "fleet") == 0) {
+    return run_fleet(argc, argv);
+  }
   std::string net_name = "vgg16";
   std::string json_path;
   CapacityQuery q;

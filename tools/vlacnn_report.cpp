@@ -241,6 +241,8 @@ struct TraceReq {
   std::uint64_t id = 0;
   double arrival = 0, dispatch = 0, completion = 0, latency = 0;
   double queue_wait = 0, formation_wait = 0, service = 0;
+  double router_hop = 0;  ///< fleet traces only; 0 on single-chip traces
+  int chip = -1;          ///< serving chip; -1 = single-chip trace
   int batch = 0, instance = -1;
   bool dropped = false, within_slo = true;
   std::string keep;
@@ -304,6 +306,9 @@ std::vector<TraceRunBlock> load_reqtrace(const std::string& path) {
       r.queue_wait = num(j, "queue_wait");
       r.formation_wait = num(j, "formation_wait");
       r.service = num(j, "service");
+      // Fleet traces only (obs/reqtrace.h): absent on single-chip files.
+      if (const Json* f = j.find("router_hop")) r.router_hop = f->num_or(0);
+      if (const Json* f = j.find("chip")) r.chip = static_cast<int>(f->num_or(-1));
       r.batch = static_cast<int>(num(j, "batch"));
       r.instance = static_cast<int>(num(j, "instance"));
       r.dropped = j.at("dropped").boolean;
@@ -329,8 +334,10 @@ std::vector<TraceRunBlock> load_reqtrace(const std::string& path) {
 /// recorder used. Returns the number of violated identities (0 = exact).
 int attribution_mismatches(const TraceReq& r) {
   int bad = 0;
-  // Top-level spans fold left-to-right (request_sim.h's attribution).
-  if ((r.queue_wait + r.formation_wait) + r.service !=
+  // Top-level spans fold left-to-right (request_sim.h's attribution; the
+  // fleet extends it with a router-hop span — serving/fleet.h — and the
+  // single-chip identity is its hop == 0 special case: 0.0 + x == x).
+  if ((r.router_hop + (r.queue_wait + r.formation_wait)) + r.service !=
       r.completion - r.arrival) {
     ++bad;
   }
@@ -347,27 +354,36 @@ int attribution_mismatches(const TraceReq& r) {
 }
 
 void print_waterfall(const TraceReq& r) {
-  std::printf("  -- trace #%llu: %.6g cycles%s, batch %d on instance %d "
-              "[%s] --\n",
-              static_cast<unsigned long long>(r.id), r.latency,
-              r.within_slo ? "" : " (SLO MISS)", r.batch, r.instance,
-              r.keep.c_str());
-  const struct {
-    const char* name;
-    double cycles;
-  } spans[] = {{"queue_wait", r.queue_wait},
-               {"formation_wait", r.formation_wait},
-               {"service", r.service}};
-  const char* critical = spans[0].name;
-  double critical_cycles = spans[0].cycles;
-  for (const auto& sp : spans) {
-    const double share = r.latency > 0 ? sp.cycles / r.latency : 0;
+  if (r.chip >= 0) {
+    std::printf("  -- trace #%llu: %.6g cycles%s, batch %d on chip %d "
+                "instance %d [%s] --\n",
+                static_cast<unsigned long long>(r.id), r.latency,
+                r.within_slo ? "" : " (SLO MISS)", r.batch, r.chip,
+                r.instance, r.keep.c_str());
+  } else {
+    std::printf("  -- trace #%llu: %.6g cycles%s, batch %d on instance %d "
+                "[%s] --\n",
+                static_cast<unsigned long long>(r.id), r.latency,
+                r.within_slo ? "" : " (SLO MISS)", r.batch, r.instance,
+                r.keep.c_str());
+  }
+  // Fleet traces carry a leading router-hop span (serving/fleet.h);
+  // single-chip traces start at queue_wait.
+  std::vector<std::pair<const char*, double>> spans;
+  if (r.chip >= 0) spans.emplace_back("router_hop", r.router_hop);
+  spans.emplace_back("queue_wait", r.queue_wait);
+  spans.emplace_back("formation_wait", r.formation_wait);
+  spans.emplace_back("service", r.service);
+  const char* critical = spans[0].first;
+  double critical_cycles = spans[0].second;
+  for (const auto& [span_name, span_cycles] : spans) {
+    const double share = r.latency > 0 ? span_cycles / r.latency : 0;
     const int bar = static_cast<int>(share * 24.0 + 0.5);
-    std::printf("     %-15s %12.6g  %5.1f%%  %.*s\n", sp.name, sp.cycles,
+    std::printf("     %-15s %12.6g  %5.1f%%  %.*s\n", span_name, span_cycles,
                 share * 100.0, bar, "########################");
-    if (sp.cycles > critical_cycles) {
-      critical = sp.name;
-      critical_cycles = sp.cycles;
+    if (span_cycles > critical_cycles) {
+      critical = span_name;
+      critical_cycles = span_cycles;
     }
   }
   std::printf("     critical path: %s (%.1f%% of latency)\n", critical,
@@ -452,12 +468,13 @@ int render_requests(const std::string& path, std::size_t top_n,
 
     // Aggregate blame: where the sampled completions' cycles went, and which
     // span was each request's largest (its critical path).
-    double qw = 0, fw = 0, svc = 0;
+    double qw = 0, fw = 0, svc = 0, rh = 0;
     std::size_t blame_q = 0, blame_f = 0, blame_s = 0, explored = 0;
     for (const TraceReq* r : slow) {
       qw += r->queue_wait;
       fw += r->formation_wait;
       svc += r->service;
+      rh += r->router_hop;
       if (r->queue_wait >= r->formation_wait && r->queue_wait >= r->service) {
         ++blame_q;
       } else if (r->formation_wait >= r->service) {
@@ -477,6 +494,11 @@ int render_requests(const std::string& path, std::size_t top_n,
                   "exploration batch\n",
                   qw / total * 100.0, fw / total * 100.0, svc / total * 100.0,
                   blame_q, blame_f, blame_s, explored);
+      // Fleet traces only: the front-end hop's share of end-to-end cycles.
+      if (rh > 0) {
+        std::printf("  router hop: %.1f%% of sampled end-to-end cycles\n",
+                    rh / (rh + total) * 100.0);
+      }
     }
   }
   if (mismatches > 0) {
